@@ -1,0 +1,68 @@
+// Command ptucker-bench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact of the evaluation (Section IV)
+// or discovery study (Section V); see DESIGN.md for the per-experiment index.
+//
+// Usage:
+//
+//	ptucker-bench -exp fig6a            # one experiment, reduced scale
+//	ptucker-bench -exp all -scale full  # everything, paper-sized shapes
+//	ptucker-bench -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (e.g. fig6a, table5) or 'all'")
+		scale   = flag.String("scale", "small", "workload scale: small (CI) or full (paper-sized)")
+		seed    = flag.Int64("seed", 1, "random seed for data generation and initialization")
+		threads = flag.Int("threads", 0, "P-Tucker worker threads (0 = GOMAXPROCS)")
+		iters   = flag.Int("iters", 2, "ALS iterations for per-iteration timing sweeps")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "print progress while sweeping")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-bench: -exp is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc, err := synth.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptucker-bench:", err)
+		os.Exit(2)
+	}
+	opt := experiments.Options{Scale: sc, Seed: *seed, Threads: *threads, Iters: *iters}
+	if *verbose {
+		opt.Out = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptucker-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println("==> " + res.Title)
+		fmt.Println(res.Text)
+	}
+}

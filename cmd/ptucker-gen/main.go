@@ -1,0 +1,112 @@
+// Command ptucker-gen generates synthetic sparse tensors in the text format
+// consumed by cmd/ptucker: the uniform random tensors of the paper's
+// Section IV-B, planted low-rank Tucker tensors, the MovieLens-like rating
+// tensor with planted genres and temporal relations, and smooth video/image
+// stand-ins.
+//
+// Usage:
+//
+//	ptucker-gen -kind uniform -dims 1000,1000,1000 -nnz 100000 -out x.tns
+//	ptucker-gen -kind movielens -out ml.tns
+//	ptucker-gen -kind planted -dims 500,400,300 -ranks 5,5,5 -nnz 50000 -out p.tns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "uniform", "generator: uniform, planted, movielens, smooth")
+		dims  = flag.String("dims", "", "comma-separated mode lengths (uniform/planted/smooth)")
+		ranks = flag.String("ranks", "", "comma-separated planted ranks (planted)")
+		nnz   = flag.Int("nnz", 10000, "number of observed entries (uniform/planted)")
+		frac  = flag.Float64("frac", 0.1, "observed fraction of cells (smooth)")
+		noise = flag.Float64("noise", 0.01, "noise stddev (planted)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-gen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		x   *tensor.Coord
+		err error
+	)
+	switch *kind {
+	case "uniform":
+		d, derr := parseInts(*dims)
+		if derr != nil {
+			err = derr
+			break
+		}
+		x = synth.Uniform(rng, d, *nnz)
+	case "planted":
+		d, derr := parseInts(*dims)
+		if derr != nil {
+			err = derr
+			break
+		}
+		r, rerr := parseInts(*ranks)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		x = synth.PlantedTucker(rng, d, r, *nnz, *noise)
+	case "movielens":
+		cfg := synth.DefaultMovieLensConfig()
+		cfg.Seed = *seed
+		if *nnz > 0 {
+			cfg.NNZ = *nnz
+		}
+		x = synth.MovieLens(cfg).X
+	case "smooth":
+		d, derr := parseInts(*dims)
+		if derr != nil {
+			err = derr
+			break
+		}
+		x = synth.SmoothLowRank(rng, d, 3, *frac)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptucker-gen:", err)
+		os.Exit(1)
+	}
+
+	if err := tensor.WriteFile(*out, x); err != nil {
+		fmt.Fprintln(os.Stderr, "ptucker-gen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %v to %s\n", x, *out)
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims/-ranks value")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

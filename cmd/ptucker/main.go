@@ -1,0 +1,170 @@
+// Command ptucker factorizes a sparse tensor file with the P-Tucker family
+// and writes the factor matrices and core tensor to an output directory.
+//
+// The input format is the one used by the published P-Tucker datasets: one
+// observed entry per line, whitespace-separated 1-based indices followed by
+// the value.
+//
+// Usage:
+//
+//	ptucker -input ratings.tns -order 3 -ranks 10,10,10 -out ./factors
+//	ptucker -input x.tns -order 4 -ranks 5,5,5,5 -method approx -p 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input tensor file (required)")
+		order   = flag.Int("order", 0, "tensor order N (required)")
+		ranks   = flag.String("ranks", "", "comma-separated core ranks J1..JN (required)")
+		method  = flag.String("method", "ptucker", "variant: ptucker, cache, approx")
+		lambda  = flag.Float64("lambda", 0.01, "L2 regularization λ")
+		iters   = flag.Int("iters", 20, "maximum ALS iterations")
+		tol     = flag.Float64("tol", 1e-4, "relative-error convergence tolerance (0 disables)")
+		p       = flag.Float64("p", 0.2, "truncation rate for -method approx")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output directory for factors and core (optional)")
+		split   = flag.Float64("split", 0, "hold out this fraction of entries as a test set (e.g. 0.1)")
+	)
+	flag.Parse()
+
+	if *input == "" || *order <= 0 || *ranks == "" {
+		fmt.Fprintln(os.Stderr, "ptucker: -input, -order and -ranks are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ranksList, err := parseRanks(*ranks, *order)
+	if err != nil {
+		fatal(err)
+	}
+
+	x, err := tensor.ReadFile(*input, *order, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %v\n", x)
+
+	var test *tensor.Coord
+	if *split > 0 {
+		rng := newRand(*seed)
+		x, test = x.Split(1-*split, rng)
+		fmt.Printf("split: %d train / %d test entries\n", x.NNZ(), test.NNZ())
+	}
+
+	cfg := core.Defaults(ranksList)
+	cfg.Lambda = *lambda
+	cfg.MaxIters = *iters
+	cfg.Tol = *tol
+	cfg.TruncationRate = *p
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	switch *method {
+	case "ptucker":
+		cfg.Method = core.PTucker
+	case "cache":
+		cfg.Method = core.PTuckerCache
+	case "approx":
+		cfg.Method = core.PTuckerApprox
+	default:
+		fatal(fmt.Errorf("unknown method %q (want ptucker, cache, approx)", *method))
+	}
+
+	m, err := core.Decompose(x, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, it := range m.Trace {
+		fmt.Printf("iter %2d: error %.6g (%.3gs, |G|=%d)\n",
+			it.Iter, it.Error, it.Elapsed.Seconds(), it.CoreNNZ)
+	}
+	fmt.Printf("final: error %.6g, fit %.4f, converged %v\n", m.TrainError, m.Fit(x), m.Converged)
+	if test != nil {
+		fmt.Printf("test RMSE: %.6g over %d held-out entries\n", m.RMSE(test), test.NNZ())
+	}
+
+	if *out != "" {
+		if err := writeModel(*out, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote factors and core to %s\n", *out)
+	}
+}
+
+func parseRanks(s string, order int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != order {
+		return nil, fmt.Errorf("ptucker: %d ranks given for order %d", len(parts), order)
+	}
+	ranks := make([]int, order)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("ptucker: bad rank %q: %v", p, err)
+		}
+		ranks[i] = v
+	}
+	return ranks, nil
+}
+
+// writeModel stores each factor matrix as a TSV file (rows x ranks) and the
+// core tensor in the sparse text format.
+func writeModel(dir string, m *core.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for n, a := range m.Factors {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("factor%d.tsv", n+1)))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < a.Rows(); i++ {
+			row := a.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					fmt.Fprint(f, "\t")
+				}
+				fmt.Fprintf(f, "%g", v)
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "core.tns"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for e := 0; e < m.Core.NNZ(); e++ {
+		idx := m.Core.Index(e)
+		for k, i := range idx {
+			if k > 0 {
+				fmt.Fprint(f, "\t")
+			}
+			fmt.Fprintf(f, "%d", i+1)
+		}
+		fmt.Fprintf(f, "\t%g\n", m.Core.Value(e))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptucker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Comparison: run every method of the paper's evaluation — P-Tucker and its
+// variants against Tucker-wOpt, S-HOT and Tucker-CSF — on one sparse tensor
+// and print a speed/accuracy table (the Figure 7 / Figure 11 view in
+// miniature).
+//
+// Run with: go run ./examples/comparison
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/csf"
+	"repro/internal/metrics"
+	"repro/internal/shot"
+	"repro/internal/synth"
+	"repro/internal/ttm"
+	"repro/internal/wopt"
+)
+
+func main() {
+	// A sparse planted tensor: observed entries carry low-rank structure,
+	// missing cells are NOT zeros — the regime that separates
+	// observed-entry methods from zero-filling ones.
+	rng := rand.New(rand.NewSource(11))
+	x := synth.PlantedTucker(rng, []int{60, 50, 40}, []int{3, 3, 3}, 4000, 0.02)
+	train, test := x.Split(0.9, rng)
+	ranks := []int{3, 3, 3}
+	const iters = 8
+
+	tbl := metrics.NewTable("method", "time/iter", "recon error (Eq.5)", "test RMSE")
+
+	// P-Tucker family.
+	for _, method := range []ptucker.Method{ptucker.PTucker, ptucker.PTuckerCache, ptucker.PTuckerApprox} {
+		cfg := ptucker.Defaults(ranks)
+		cfg.Method = method
+		cfg.MaxIters = iters
+		cfg.Tol = 0
+		cfg.Seed = 2
+		m, err := ptucker.Decompose(train, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(method.String(),
+			fmt.Sprintf("%.4gs", m.TimePerIteration().Seconds()),
+			m.TrainError, m.RMSE(test))
+	}
+
+	// Tucker-wOpt (observed-entry, dense intermediates).
+	if wm, err := wopt.Decompose(train, wopt.Config{Ranks: ranks, MaxIters: 4 * iters, Seed: 2}); err == nil {
+		tbl.AddRow("Tucker-wOpt",
+			fmt.Sprintf("%.4gs", wm.TimePerIteration().Seconds()),
+			wm.ReconstructionError(train), wm.RMSE(test))
+	} else if errors.Is(err, ttm.ErrOutOfMemory) {
+		tbl.AddRow("Tucker-wOpt", "O.O.M.", "O.O.M.", "O.O.M.")
+	} else {
+		log.Fatal(err)
+	}
+
+	// Zero-filling baselines.
+	if sm, err := shot.Decompose(train, shot.Config{Ranks: ranks, MaxIters: iters, Seed: 2}); err == nil {
+		tbl.AddRow("S-HOT",
+			fmt.Sprintf("%.4gs", sm.TimePerIteration().Seconds()),
+			sm.ReconstructionError(train), sm.RMSE(test))
+	} else {
+		log.Fatal(err)
+	}
+	if cm, err := csf.Decompose(train, csf.Config{Ranks: ranks, MaxIters: iters, Seed: 2}); err == nil {
+		tbl.AddRow("Tucker-CSF",
+			fmt.Sprintf("%.4gs", cm.TimePerIteration().Seconds()),
+			cm.ReconstructionError(train), cm.RMSE(test))
+	} else {
+		log.Fatal(err)
+	}
+
+	fmt.Println("method comparison on a sparse planted tensor (60x50x40, 4000 observed):")
+	fmt.Print(tbl)
+	fmt.Println("\nexpected shape (paper Figs. 7/11): observed-entry methods (P-Tucker")
+	fmt.Println("family, wOpt) fit far better than zero-filling ones (S-HOT, CSF);")
+	fmt.Println("P-Tucker is the fastest of the accurate methods.")
+}

@@ -1,0 +1,144 @@
+package core
+
+// Ablation micro-benchmarks for the design choices called out in DESIGN.md:
+// plain vs cached δ computation, core truncation cost, dynamic vs static
+// scheduling, the sampling extension, and the parallel error pass.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// benchTensor builds a shared 3-order workload: 10k entries over 1k³ cells.
+func benchTensor(b *testing.B) *tensor.Coord {
+	b.Helper()
+	rng := rand.New(rand.NewSource(77))
+	return uniformTensor(rng, []int{1000, 1000, 1000}, 10000)
+}
+
+func benchConfig(method Method) Config {
+	cfg := Defaults([]int{4, 4, 4})
+	cfg.Method = method
+	cfg.MaxIters = 1
+	cfg.Tol = 0
+	cfg.Threads = 2
+	cfg.Seed = 3
+	return cfg
+}
+
+// BenchmarkIterationPlain measures one full ALS iteration of plain P-Tucker.
+func BenchmarkIterationPlain(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTucker)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterationCache is the cached-δ ablation of the same iteration.
+func BenchmarkIterationCache(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTuckerCache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterationApprox is the truncated-core ablation.
+func BenchmarkIterationApprox(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTuckerApprox)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterationSampled measures the sampling extension at 50%.
+func BenchmarkIterationSampled(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTucker)
+	cfg.SampleRate = 0.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulingDynamic and ...Static compare the two row-distribution
+// policies of Section III-D on a skewed workload.
+func benchScheduling(b *testing.B, s Scheduling) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(78))
+	x := tensor.NewCoord([]int{500, 500, 500})
+	idx := make([]int, 3)
+	for x.NNZ() < 10000 {
+		if x.NNZ()%2 == 0 {
+			idx[0] = rng.Intn(3) // hot rows
+		} else {
+			idx[0] = rng.Intn(500)
+		}
+		idx[1], idx[2] = rng.Intn(500), rng.Intn(500)
+		x.MustAppend(idx, rng.Float64())
+	}
+	cfg := benchConfig(PTucker)
+	cfg.Scheduling = s
+	cfg.Threads = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulingDynamic(b *testing.B) { benchScheduling(b, ScheduleDynamic) }
+func BenchmarkSchedulingStatic(b *testing.B)  { benchScheduling(b, ScheduleStatic) }
+
+// BenchmarkPartialErrors measures the R(β) scoring pass of Algorithm 4.
+func BenchmarkPartialErrors(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTucker)
+	m, err := Decompose(x, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStateForAnalysis(x, m.Factors, m.Core, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PartialErrors(st)
+	}
+}
+
+// BenchmarkErrorPass measures the parallel Eq. (5) reconstruction pass.
+func BenchmarkErrorPass(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTucker)
+	m, err := Decompose(x, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ReconstructionError(x)
+	}
+}

@@ -1,0 +1,181 @@
+// Package core implements the paper's primary contribution: P-Tucker, a
+// scalable Tucker factorization for sparse tensors based on alternating least
+// squares with a fully parallel row-wise update rule (Algorithms 2 and 3),
+// together with its two time-optimized variants, P-Tucker-Cache
+// (memoization of intermediate products, Algorithm 3 lines 1-4/16-19) and
+// P-Tucker-Approx (truncation of "noisy" core entries by partial
+// reconstruction error, Algorithm 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Method selects which member of the P-Tucker family runs.
+type Method int
+
+const (
+	// PTucker is the default memory-optimized algorithm: O(T·J²)
+	// intermediate memory, O(N·I·J³ + N²·|Ω|·Jᴺ) time per iteration.
+	PTucker Method = iota
+	// PTuckerCache trades memory for speed: it caches the per-(entry, core
+	// cell) products in the table Pres (O(|Ω|·|G|) memory) so δ updates cost
+	// O(1) instead of O(N), giving O(N·I·J³ + N·|Ω|·Jᴺ) time.
+	PTuckerCache
+	// PTuckerApprox truncates the top-p fraction of core entries ranked by
+	// partial reconstruction error R(β) after every iteration, shrinking |G|
+	// and therefore per-iteration time, at a small accuracy cost.
+	PTuckerApprox
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case PTucker:
+		return "P-Tucker"
+	case PTuckerCache:
+		return "P-Tucker-Cache"
+	case PTuckerApprox:
+		return "P-Tucker-Approx"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Scheduling selects how factor-matrix rows are distributed over threads
+// (Section III-D). Dynamic scheduling corrects the per-row workload imbalance
+// caused by skewed |Ω(n)[in]| and is the paper's default; Static is the
+// "naive parallelization" it is compared against (Section IV-D).
+type Scheduling int
+
+const (
+	// ScheduleDynamic hands out fixed-size chunks of rows from a shared
+	// atomic counter, the goroutine analog of OpenMP schedule(dynamic).
+	ScheduleDynamic Scheduling = iota
+	// ScheduleStatic pre-splits rows into T contiguous blocks.
+	ScheduleStatic
+)
+
+// String names the scheduling policy.
+func (s Scheduling) String() string {
+	if s == ScheduleStatic {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Config holds the hyper-parameters of a factorization run. The zero value
+// is not usable; fill Ranks and call Validate, or use Defaults.
+type Config struct {
+	// Ranks are the core tensor dimensionalities J1..JN; len(Ranks) must
+	// equal the input tensor order.
+	Ranks []int
+	// Lambda is the L2 regularization weight λ of Eq. (6). The paper's
+	// default is 0.01.
+	Lambda float64
+	// MaxIters bounds the ALS iterations. The paper's default is 20.
+	MaxIters int
+	// Tol stops iteration when the relative change of the reconstruction
+	// error between iterations drops below it. Zero disables the check and
+	// runs exactly MaxIters iterations.
+	Tol float64
+	// Threads is the worker count T. Zero means runtime.GOMAXPROCS(0).
+	Threads int
+	// Method selects P-Tucker, P-Tucker-Cache, or P-Tucker-Approx.
+	Method Method
+	// TruncationRate is the per-iteration fraction p of live core entries
+	// removed by P-Tucker-Approx (0 < p < 1). The paper's default is 0.2.
+	TruncationRate float64
+	// Scheduling selects the row distribution policy.
+	Scheduling Scheduling
+	// Seed drives the random initialization of factors and core; runs with
+	// equal seeds are bit-for-bit reproducible.
+	Seed int64
+	// UpdateCore, when true, adds an element-wise coordinate-descent sweep
+	// over core entries after the factor updates of each iteration. This is
+	// an extension beyond the published Algorithm 2 (which leaves the core
+	// at its random initialization until the final QR rotation); it
+	// typically improves fit at an O(N·|Ω|·|G|) per-iteration cost.
+	UpdateCore bool
+	// ChunkSize is the dynamic-scheduling chunk (rows per grab). Zero means
+	// an adaptive default.
+	ChunkSize int
+	// SampleRate, when in (0,1), makes each row update use only that
+	// fraction of its observed entries Ω(n)[in] (a deterministic stride
+	// subsample), accelerating updates at a small accuracy cost. This
+	// implements the sampling extension the paper lists as future work
+	// ("applying sampling techniques on observable entries to accelerate
+	// decompositions, while sacrificing little accuracy"); zero disables it.
+	// Error measurement always uses all observed entries.
+	SampleRate float64
+}
+
+// Defaults returns the paper's default configuration for the given core
+// ranks: λ=0.01, 20 iterations, p=0.2, dynamic scheduling, all cores.
+func Defaults(ranks []int) Config {
+	r := make([]int, len(ranks))
+	copy(r, ranks)
+	return Config{
+		Ranks:          r,
+		Lambda:         0.01,
+		MaxIters:       20,
+		Tol:            1e-4,
+		Threads:        0,
+		Method:         PTucker,
+		TruncationRate: 0.2,
+		Scheduling:     ScheduleDynamic,
+	}
+}
+
+// Errors returned by Validate and Decompose.
+var (
+	ErrNoRanks        = errors.New("core: config has no ranks")
+	ErrBadRank        = errors.New("core: ranks must be positive")
+	ErrBadLambda      = errors.New("core: lambda must be non-negative")
+	ErrBadIters       = errors.New("core: max iterations must be positive")
+	ErrBadTruncation  = errors.New("core: truncation rate must lie in (0,1)")
+	ErrOrderMismatch  = errors.New("core: tensor order does not match number of ranks")
+	ErrEmptyTensor    = errors.New("core: tensor has no observed entries")
+	ErrRankExceedsDim = errors.New("core: rank exceeds the matching tensor dimensionality")
+	ErrBadSampleRate  = errors.New("core: sample rate must lie in [0,1)")
+)
+
+// Validate checks the configuration against a tensor of the given shape and
+// normalizes zero-valued knobs to their defaults.
+func (c *Config) Validate(dims []int) error {
+	if len(c.Ranks) == 0 {
+		return ErrNoRanks
+	}
+	if len(c.Ranks) != len(dims) {
+		return fmt.Errorf("%w: order %d vs %d ranks", ErrOrderMismatch, len(dims), len(c.Ranks))
+	}
+	for n, j := range c.Ranks {
+		if j <= 0 {
+			return fmt.Errorf("%w: J%d = %d", ErrBadRank, n+1, j)
+		}
+		if j > dims[n] {
+			return fmt.Errorf("%w: J%d = %d > I%d = %d", ErrRankExceedsDim, n+1, j, n+1, dims[n])
+		}
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("%w: %v", ErrBadLambda, c.Lambda)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadIters, c.MaxIters)
+	}
+	if c.Method == PTuckerApprox && (c.TruncationRate <= 0 || c.TruncationRate >= 1) {
+		return fmt.Errorf("%w: p = %v", ErrBadTruncation, c.TruncationRate)
+	}
+	if c.SampleRate < 0 || c.SampleRate >= 1 {
+		return fmt.Errorf("%w: %v", ErrBadSampleRate, c.SampleRate)
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8
+	}
+	return nil
+}

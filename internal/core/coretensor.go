@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// CoreTensor is the Tucker core G represented as an explicit list of live
+// entries (β, Gβ). A dense array would suffice for P-Tucker and
+// P-Tucker-Cache, but P-Tucker-Approx removes entries each iteration, and all
+// three variants iterate "∀β ∈ G" in their inner loops — the entry list makes
+// that loop a flat scan and makes |G| shrink for free after truncation.
+//
+// Entry e has multi-index Idx[e*N : (e+1)*N] and value Val[e].
+type CoreTensor struct {
+	dims []int
+	idx  []int
+	val  []float64
+}
+
+// NewRandomCore returns a full core with dims = ranks whose values are drawn
+// uniformly from [0,1), matching P-Tucker's initialization (Algorithm 2,
+// line 1).
+func NewRandomCore(ranks []int, rng *rand.Rand) *CoreTensor {
+	n := len(ranks)
+	size := 1
+	for _, j := range ranks {
+		size *= j
+	}
+	c := &CoreTensor{
+		dims: append([]int(nil), ranks...),
+		idx:  make([]int, 0, size*n),
+		val:  make([]float64, 0, size),
+	}
+	// Enumerate multi-indices in little-endian order (mode 0 fastest).
+	cur := make([]int, n)
+	for e := 0; e < size; e++ {
+		c.idx = append(c.idx, cur...)
+		c.val = append(c.val, rng.Float64())
+		for k := 0; k < n; k++ {
+			cur[k]++
+			if cur[k] < ranks[k] {
+				break
+			}
+			cur[k] = 0
+		}
+	}
+	return c
+}
+
+// Order returns the number of modes.
+func (c *CoreTensor) Order() int { return len(c.dims) }
+
+// Dims returns the core dimensionalities J1..JN; the slice must not be
+// modified.
+func (c *CoreTensor) Dims() []int { return c.dims }
+
+// NNZ returns |G|, the number of live entries.
+func (c *CoreTensor) NNZ() int { return len(c.val) }
+
+// Index returns entry e's multi-index as a shared view.
+func (c *CoreTensor) Index(e int) []int {
+	n := len(c.dims)
+	return c.idx[e*n : (e+1)*n]
+}
+
+// Value returns entry e's value.
+func (c *CoreTensor) Value(e int) float64 { return c.val[e] }
+
+// SetValue overwrites entry e's value.
+func (c *CoreTensor) SetValue(e int, v float64) { c.val[e] = v }
+
+// Clone returns a deep copy.
+func (c *CoreTensor) Clone() *CoreTensor {
+	return &CoreTensor{
+		dims: append([]int(nil), c.dims...),
+		idx:  append([]int(nil), c.idx...),
+		val:  append([]float64(nil), c.val...),
+	}
+}
+
+// RemoveEntries deletes the entries whose positions (into the current entry
+// list) are marked true in drop, compacting the list in place. It returns the
+// number of removed entries.
+func (c *CoreTensor) RemoveEntries(drop []bool) int {
+	n := len(c.dims)
+	w := 0
+	removed := 0
+	for e := 0; e < len(c.val); e++ {
+		if e < len(drop) && drop[e] {
+			removed++
+			continue
+		}
+		if w != e {
+			copy(c.idx[w*n:(w+1)*n], c.idx[e*n:(e+1)*n])
+			c.val[w] = c.val[e]
+		}
+		w++
+	}
+	c.idx = c.idx[:w*n]
+	c.val = c.val[:w]
+	return removed
+}
+
+// ToDense materializes the core as a dense tensor (truncated entries are
+// zeros).
+func (c *CoreTensor) ToDense() *tensor.Dense {
+	d := tensor.NewDenseTensor(c.dims)
+	n := len(c.dims)
+	for e := 0; e < len(c.val); e++ {
+		d.Set(c.idx[e*n:(e+1)*n], c.val[e])
+	}
+	return d
+}
+
+// FromDense rebuilds the live entry list from a dense tensor, keeping every
+// cell (including zeros, because a mode product can legitimately produce
+// structural zeros that later rotations revive — except when sparse is true,
+// in which case exact zeros are dropped).
+func (c *CoreTensor) FromDense(d *tensor.Dense, sparse bool) {
+	n := d.Order()
+	c.dims = append(c.dims[:0], d.Dims()...)
+	c.idx = c.idx[:0]
+	c.val = c.val[:0]
+	idx := make([]int, n)
+	for off, v := range d.Data() {
+		if sparse && v == 0 {
+			continue
+		}
+		d.IndexOf(off, idx)
+		c.idx = append(c.idx, idx...)
+		c.val = append(c.val, v)
+	}
+}
+
+// RotateAll applies G ← G ×1 R(1) ··· ×N R(N) (Eq. 8), the core update that
+// accompanies QR orthogonalization of the factor matrices. Each R must be
+// Jn x Jn. Entries that were truncated stay absent only if the rotation
+// leaves them exactly zero; in general the rotated core is dense again, which
+// matches the semantics of Eq. (8).
+func (c *CoreTensor) RotateAll(rs []*mat.Dense) {
+	d := c.ToDense()
+	d = d.ModeProductChain(rs)
+	c.FromDense(d, false)
+}
+
+// MaxAbsEntries returns the k entries with the largest |Gβ| along with their
+// indices, for relation discovery (Section V). The result is ordered by
+// descending |Gβ|.
+func (c *CoreTensor) MaxAbsEntries(k int) (indices [][]int, values []float64) {
+	n := len(c.dims)
+	type pair struct {
+		e int
+		a float64
+	}
+	pairs := make([]pair, len(c.val))
+	for e, v := range c.val {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		pairs[e] = pair{e, a}
+	}
+	// Partial selection sort: k is tiny (3 in the paper).
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(pairs); j++ {
+			if pairs[j].a > pairs[best].a {
+				best = j
+			}
+		}
+		pairs[i], pairs[best] = pairs[best], pairs[i]
+		e := pairs[i].e
+		idx := make([]int, n)
+		copy(idx, c.idx[e*n:(e+1)*n])
+		indices = append(indices, idx)
+		values = append(values, c.val[e])
+	}
+	return indices, values
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// IterStats records one ALS iteration of Algorithm 2 for analysis and for
+// regenerating Figures 9(a)/9(b).
+type IterStats struct {
+	// Iter is the 1-based iteration number.
+	Iter int
+	// Error is the reconstruction error (Eq. 5) measured after the factor
+	// updates of this iteration.
+	Error float64
+	// Elapsed is the wall-clock duration of the iteration (factor updates +
+	// error computation + truncation, i.e. lines 3-6 of Algorithm 2).
+	Elapsed time.Duration
+	// CoreNNZ is |G| after this iteration (shrinks under P-Tucker-Approx).
+	CoreNNZ int
+}
+
+// Model is the result of a Tucker factorization: factor matrices A(n)
+// (orthonormal columns after finalization), the core tensor G, and the run's
+// measurements.
+type Model struct {
+	// Factors holds A(1)..A(N), each In x Jn.
+	Factors []*mat.Dense
+	// Core is the Tucker core G.
+	Core *CoreTensor
+	// Config echoes the configuration that produced the model.
+	Config Config
+	// Trace holds per-iteration statistics in order.
+	Trace []IterStats
+	// Converged reports whether the relative-error stopping rule fired
+	// before MaxIters.
+	Converged bool
+	// TrainError is the final reconstruction error (Eq. 5) on the training
+	// entries.
+	TrainError float64
+	// IntermediateBytes is the analytic intermediate-data requirement of the
+	// run in bytes (Definition 7): per-thread workspaces O(T·J²) for
+	// P-Tucker, plus the cache table O(|Ω|·|G|) for P-Tucker-Cache. It is the
+	// quantity Table III and Figures 8(b)/10(b) report.
+	IntermediateBytes int64
+	// WorkPerThread is the number of rows processed by each worker during
+	// the final iteration's factor updates, for workload-balance reporting.
+	WorkPerThread []int64
+}
+
+// Order returns the tensor order N.
+func (m *Model) Order() int { return len(m.Factors) }
+
+// Predict reconstructs the value at multi-index idx by Eq. (4):
+// Σ_β Gβ ∏_n A(n)[in][jn]. This is how missing entries are estimated —
+// never as zeros.
+func (m *Model) Predict(idx []int) float64 {
+	n := len(m.Factors)
+	rows := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		rows[k] = m.Factors[k].Row(idx[k])
+	}
+	return predictWithRows(m.Core, rows)
+}
+
+// predictWithRows evaluates Eq. (4) given pre-fetched factor rows for each
+// mode; it is the shared inner kernel of prediction, error measurement and
+// truncation scoring.
+func predictWithRows(g *CoreTensor, rows [][]float64) float64 {
+	n := len(rows)
+	var sum float64
+	gi := g.idx
+	for e, gv := range g.val {
+		prod := gv
+		base := e * n
+		for k := 0; k < n; k++ {
+			prod *= rows[k][gi[base+k]]
+		}
+		sum += prod
+	}
+	return sum
+}
+
+// ReconstructionError computes Eq. (5) over the observed entries of x, in
+// parallel with per-thread partial sums.
+func (m *Model) ReconstructionError(x *tensor.Coord) float64 {
+	return reconstructionError(x, m.Factors, m.Core, m.Config.Threads)
+}
+
+func reconstructionError(x *tensor.Coord, factors []*mat.Dense, g *CoreTensor, threads int) float64 {
+	n := x.Order()
+	nnz := x.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	rowsBuf := make([][][]float64, threads)
+	for t := range rowsBuf {
+		rowsBuf[t] = make([][]float64, n)
+	}
+	ss := parallelSum(threads, nnz, func(tid, e int) float64 {
+		rows := rowsBuf[tid]
+		idx := x.Index(e)
+		for k := 0; k < n; k++ {
+			rows[k] = factors[k].Row(idx[k])
+		}
+		r := x.Value(e) - predictWithRows(g, rows)
+		return r * r
+	})
+	return math.Sqrt(ss)
+}
+
+// RMSE returns the root mean square error of predictions over the observed
+// entries of test, the metric Figure 11 reports for held-out data.
+func (m *Model) RMSE(test *tensor.Coord) float64 {
+	nnz := test.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	err := m.ReconstructionError(test)
+	return err / math.Sqrt(float64(nnz))
+}
+
+// Fit returns 1 - error/||X||, the share of the data's norm explained by the
+// model (a common Tucker quality score; 1 is perfect).
+func (m *Model) Fit(x *tensor.Coord) float64 {
+	nrm := x.Norm()
+	if nrm == 0 {
+		return 1
+	}
+	return 1 - m.ReconstructionError(x)/nrm
+}
+
+// TimePerIteration returns the mean wall-clock duration per ALS iteration,
+// the measurement used throughout Section IV ("we use average elapsed time
+// per iteration instead of total running time").
+func (m *Model) TimePerIteration() time.Duration {
+	if len(m.Trace) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, it := range m.Trace {
+		total += it.Elapsed
+	}
+	return total / time.Duration(len(m.Trace))
+}
+
+// TotalTime returns the summed duration of all iterations.
+func (m *Model) TotalTime() time.Duration {
+	var total time.Duration
+	for _, it := range m.Trace {
+		total += it.Elapsed
+	}
+	return total
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Decompose runs Algorithm 2 (P-Tucker for Sparse Tensors) on the observed
+// entries of x and returns the fitted model. The variant (plain, Cache,
+// Approx) is selected by cfg.Method.
+//
+// The loop structure follows the paper exactly: initialize factors and core
+// with uniform random values in [0,1); repeatedly update every factor matrix
+// with the row-wise rule (Algorithm 3) and measure the reconstruction error
+// (Eq. 5); for P-Tucker-Approx, truncate noisy core entries (Algorithm 4);
+// stop on convergence or MaxIters; finally orthogonalize the factors by QR
+// and rotate the core by the R factors (Eqs. 7-8), which leaves the
+// reconstruction error unchanged.
+func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
+	if err := cfg.Validate(x.Dims()); err != nil {
+		return nil, err
+	}
+	if x.NNZ() == 0 {
+		return nil, ErrEmptyTensor
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := x.Order()
+
+	// Step 1: random initialization of factors and core (Algorithm 2 line 1).
+	factors := make([]*mat.Dense, n)
+	for k := 0; k < n; k++ {
+		a := mat.NewDense(x.Dim(k), cfg.Ranks[k])
+		data := a.Data()
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		factors[k] = a
+	}
+	g := NewRandomCore(cfg.Ranks, rng)
+
+	st := &state{
+		x:       x,
+		omega:   tensor.NewModeIndex(x),
+		factors: factors,
+		core:    g,
+		cfg:     cfg,
+	}
+	if cfg.Method == PTuckerCache {
+		st.buildCache()
+	}
+
+	model := &Model{Factors: factors, Core: g, Config: cfg}
+
+	prevErr := math.Inf(1)
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		start := time.Now()
+
+		// Lines 3: update factor matrices A(1)..A(N) by Algorithm 3.
+		var work []int64
+		for mode := 0; mode < n; mode++ {
+			work = st.updateFactor(mode)
+		}
+
+		// Extension (off by default): element-wise core refinement.
+		if cfg.UpdateCore {
+			st.updateCore()
+			if st.cache != nil {
+				st.buildCache() // core values changed; memoized products are stale
+			}
+		}
+
+		// Line 4: reconstruction error by Eq. (5).
+		errNow := reconstructionError(x, factors, g, cfg.Threads)
+
+		// Lines 5-6: P-Tucker-Approx truncates noisy core entries.
+		if cfg.Method == PTuckerApprox {
+			st.truncateCore()
+			if st.cache != nil {
+				st.buildCache()
+			}
+		}
+
+		model.Trace = append(model.Trace, IterStats{
+			Iter:    iter,
+			Error:   errNow,
+			Elapsed: time.Since(start),
+			CoreNNZ: g.NNZ(),
+		})
+		model.WorkPerThread = work
+		model.TrainError = errNow
+
+		// Line 7: stop when the error converges.
+		if cfg.Tol > 0 && prevErr < math.Inf(1) {
+			denom := prevErr
+			if denom == 0 {
+				denom = 1
+			}
+			if math.Abs(prevErr-errNow)/denom < cfg.Tol {
+				model.Converged = true
+				break
+			}
+		}
+		prevErr = errNow
+	}
+
+	// Lines 8-11: orthogonalize factors, rotate core.
+	if err := finalize(factors, g); err != nil {
+		return nil, fmt.Errorf("core: orthogonalization failed: %w", err)
+	}
+	model.IntermediateBytes = st.intermediateBytes()
+	return model, nil
+}
+
+// finalize performs A(n) = Q(n)R(n), substitutes Q(n) for A(n), and applies
+// G ← G ×n R(n) for every mode (Algorithm 2 lines 8-11).
+func finalize(factors []*mat.Dense, g *CoreTensor) error {
+	rs := make([]*mat.Dense, len(factors))
+	for k, a := range factors {
+		q, r, err := mat.QRFactor(a)
+		if err != nil {
+			return err
+		}
+		factors[k].CopyFrom(q)
+		rs[k] = r
+	}
+	g.RotateAll(rs)
+	return nil
+}
+
+// state carries the mutable pieces of one Decompose run.
+type state struct {
+	x       *tensor.Coord
+	omega   *tensor.ModeIndex
+	factors []*mat.Dense
+	core    *CoreTensor
+	cfg     Config
+
+	// cache is the Pres table of P-Tucker-Cache, flattened row-major:
+	// cache[α*cacheW + e] = Gβ(e) · ∏_k A(k)[ik][jk(e)] for observed entry α
+	// and live core entry e. nil for the other variants.
+	cache  []float64
+	cacheW int
+}
+
+// intermediateBytes returns the analytic intermediate-data footprint
+// (Definition 7) of the configured variant, matching Table III:
+// O(T·J²) for P-Tucker (each thread holds δ, c, B, and the Cholesky factor),
+// plus O(|Ω|·|G|) for the cache table.
+func (st *state) intermediateBytes() int64 {
+	maxJ := 0
+	for _, j := range st.cfg.Ranks {
+		if j > maxJ {
+			maxJ = j
+		}
+	}
+	perThread := int64(2*maxJ*maxJ+2*maxJ) * 8
+	total := int64(st.cfg.Threads) * perThread
+	if st.cfg.Method == PTuckerCache {
+		total += int64(st.x.NNZ()) * int64(st.core.NNZ()) * 8
+	}
+	return total
+}
+
+// workspace is the per-thread scratch of the row update: the δ vector, the
+// normal matrix B, the right-hand side c, and a buffer of factor-row
+// pointers. Its size is what gives P-Tucker its O(T·J²) memory bound.
+type workspace struct {
+	delta []float64
+	b     *mat.Dense
+	c     []float64
+	rows  [][]float64
+}
+
+func newWorkspace(order, maxJ int) *workspace {
+	return &workspace{
+		delta: make([]float64, maxJ),
+		b:     mat.NewDense(maxJ, maxJ),
+		c:     make([]float64, maxJ),
+		rows:  make([][]float64, order),
+	}
+}
+
+// updateFactor applies the row-wise update rule (Eq. 9) to every row of
+// A(mode), in parallel (Algorithm 3 lines 5-15), and returns the per-thread
+// row counts for balance reporting.
+func (st *state) updateFactor(mode int) []int64 {
+	a := st.factors[mode]
+	jn := st.cfg.Ranks[mode]
+	n := st.x.Order()
+	threads := st.cfg.Threads
+
+	var oldA *mat.Dense
+	if st.cache != nil {
+		oldA = a.Clone() // needed to rescale Pres after the update
+	}
+
+	ws := make([]*workspace, threads)
+	for t := range ws {
+		ws[t] = newWorkspace(n, jn)
+	}
+
+	counts := runIndexed(threads, st.cfg.Scheduling, st.cfg.ChunkSize, a.Rows(), func(tid, in int) {
+		st.updateRow(mode, in, ws[tid])
+	})
+
+	if st.cache != nil {
+		st.rescaleCache(mode, oldA)
+	}
+	return counts
+}
+
+// updateRow recomputes row in of A(mode) by Eq. (9): it accumulates B(n)[in]
+// (Eq. 10) and c(n)[in] (Eq. 11) over the observed entries Ω(n)[in], then
+// solves the SPD system [B + λI]ᵀ row = c. Rows with no observations are set
+// to zero, which is the exact minimizer of the regularized loss for them.
+func (st *state) updateRow(mode, in int, w *workspace) {
+	jn := st.cfg.Ranks[mode]
+	entries := st.omega.Slice(mode, in)
+	row := st.factors[mode].Row(in)
+
+	if len(entries) == 0 {
+		for j := range row {
+			row[j] = 0
+		}
+		return
+	}
+
+	b := w.b
+	b.Zero()
+	c := w.c[:jn]
+	for j := range c {
+		c[j] = 0
+	}
+
+	// Sampling extension (Config.SampleRate): fit the row to a deterministic
+	// stride subsample of its observations. The subsampled normal equations
+	// remain a well-posed ridge regression; small rows are never subsampled
+	// below minSampleEntries so the system stays informative.
+	stride := 1
+	if r := st.cfg.SampleRate; r > 0 {
+		const minSampleEntries = 8
+		stride = int(math.Round(1 / r))
+		if len(entries)/max(stride, 1) < minSampleEntries {
+			stride = len(entries) / minSampleEntries
+		}
+		if stride < 1 {
+			stride = 1
+		}
+	}
+
+	for ei := 0; ei < len(entries); ei += stride {
+		alpha := entries[ei]
+		delta := st.computeDelta(mode, alpha, w)
+		xv := st.x.Value(alpha)
+		// B += δδᵀ (upper triangle), c += Xα·δ.
+		for j1 := 0; j1 < jn; j1++ {
+			d1 := delta[j1]
+			if d1 == 0 {
+				continue
+			}
+			brow := b.Row(j1)
+			for j2 := j1; j2 < jn; j2++ {
+				brow[j2] += d1 * delta[j2]
+			}
+			c[j1] += xv * d1
+		}
+	}
+	// Mirror to the lower triangle and add λI.
+	for j1 := 0; j1 < jn; j1++ {
+		for j2 := j1 + 1; j2 < jn; j2++ {
+			b.Set(j2, j1, b.At(j1, j2))
+		}
+		b.Add(j1, j1, st.cfg.Lambda)
+	}
+
+	// Solve [B + λI] x = c. B is SPD for λ>0; Cholesky is the fast path and
+	// LU the fallback for λ=0 with degenerate B. If both fail the row is
+	// left unchanged, which keeps the loss monotone (skipping an update
+	// can never increase it above the previous iterate).
+	if ch, err := mat.NewCholesky(b); err == nil {
+		copy(row, c)
+		ch.SolveVecInPlace(row)
+		return
+	}
+	if sol, err := mat.SolveVec(b, c); err == nil {
+		copy(row, sol)
+	}
+}
+
+// updateCore is the optional element-wise core refinement (extension; see
+// Config.UpdateCore): one coordinate-descent sweep over live core entries,
+// each solved exactly with the residual maintained incrementally.
+func (st *state) updateCore() {
+	x := st.x
+	g := st.core
+	n := x.Order()
+	nnz := x.NNZ()
+	threads := st.cfg.Threads
+
+	// Residuals r(α) = Xα - prediction(α).
+	resid := make([]float64, nnz)
+	rowsBuf := make([][][]float64, threads)
+	for t := range rowsBuf {
+		rowsBuf[t] = make([][]float64, n)
+	}
+	runIndexed(threads, ScheduleStatic, 1, nnz, func(tid, e int) {
+		rows := rowsBuf[tid]
+		idx := x.Index(e)
+		for k := 0; k < n; k++ {
+			rows[k] = st.factors[k].Row(idx[k])
+		}
+		resid[e] = x.Value(e) - predictWithRows(g, rows)
+	})
+
+	weights := make([]float64, nnz) // wβ(α) for the current β
+	for e := 0; e < g.NNZ(); e++ {
+		beta := g.Index(e)
+		old := g.Value(e)
+		numer := parallelSum(threads, nnz, func(tid, a int) float64 {
+			idx := x.Index(a)
+			w := 1.0
+			for k := 0; k < n; k++ {
+				w *= st.factors[k].At(idx[k], beta[k])
+			}
+			weights[a] = w
+			return w * (resid[a] + old*w)
+		})
+		denom := st.cfg.Lambda
+		for _, w := range weights {
+			denom += w * w
+		}
+		if denom == 0 {
+			continue
+		}
+		next := numer / denom
+		diff := next - old
+		if diff != 0 {
+			g.SetValue(e, next)
+			for a := 0; a < nnz; a++ {
+				resid[a] -= diff * weights[a]
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// PartialErrors computes R(β) (Eq. 13) for every live core entry: the change
+// in squared reconstruction error attributable to β, i.e. error-with-β minus
+// error-without-β. Positive R(β) means the entry hurts the fit ("noisy");
+// the largest values are the truncation candidates of Algorithm 4, and the
+// distribution of R(β) is what Figure 5 plots.
+//
+// Using pβ(α) = Gβ·∏_n A(n)[in][jn] and full(α) = Σ_γ pγ(α), Eq. 13
+// simplifies to R(β) = Σ_α pβ(α)·(2·(full(α) - Xα) - pβ(α)), which is what
+// the inner loop evaluates. Cost is O(|Ω|·|G|·N), computed in parallel with
+// per-thread accumulators.
+func PartialErrors(st *state) []float64 {
+	x := st.x
+	g := st.core
+	n := x.Order()
+	nnz := x.NNZ()
+	width := g.NNZ()
+	threads := st.cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+
+	acc := make([][]float64, threads)
+	for t := range acc {
+		acc[t] = make([]float64, width)
+	}
+	prodBuf := make([][]float64, threads)
+	for t := range prodBuf {
+		prodBuf[t] = make([]float64, width)
+	}
+	rowsBuf := make([][][]float64, threads)
+	for t := range rowsBuf {
+		rowsBuf[t] = make([][]float64, n)
+	}
+
+	gi := g.idx
+	gv := g.val
+	runIndexed(threads, ScheduleStatic, 1, nnz, func(tid, alpha int) {
+		rows := rowsBuf[tid]
+		idx := x.Index(alpha)
+		for k := 0; k < n; k++ {
+			rows[k] = st.factors[k].Row(idx[k])
+		}
+		prods := prodBuf[tid]
+		var full float64
+		if st.cache != nil {
+			cacheRow := st.cache[alpha*st.cacheW : alpha*st.cacheW+width]
+			copy(prods, cacheRow)
+			for _, p := range prods {
+				full += p
+			}
+		} else {
+			for e := 0; e < width; e++ {
+				base := e * n
+				p := gv[e]
+				for k := 0; k < n; k++ {
+					p *= rows[k][gi[base+k]]
+				}
+				prods[e] = p
+				full += p
+			}
+		}
+		xv := x.Value(alpha)
+		out := acc[tid]
+		for e, p := range prods {
+			out[e] += p * (2*(full-xv) - p)
+		}
+	})
+
+	r := make([]float64, width)
+	for _, part := range acc {
+		for e, v := range part {
+			r[e] += v
+		}
+	}
+	return r
+}
+
+// truncateCore removes the top-p fraction of live core entries ranked by
+// R(β) descending (Algorithm 4). At least one entry always survives so the
+// model never degenerates to the empty sum.
+func (st *state) truncateCore() {
+	g := st.core
+	width := g.NNZ()
+	if width <= 1 {
+		return
+	}
+	r := PartialErrors(st)
+
+	k := int(st.cfg.TruncationRate * float64(width))
+	if k <= 0 {
+		return
+	}
+	if k >= width {
+		k = width - 1
+	}
+
+	// Rank entries by R(β) descending (Algorithm 4 line 3).
+	order := make([]int, width)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return r[order[a]] > r[order[b]] })
+
+	drop := make([]bool, width)
+	for i := 0; i < k; i++ {
+		drop[order[i]] = true
+	}
+	g.RemoveEntries(drop)
+}
+
+// NewStateForAnalysis exposes a read-only factorization state over existing
+// factors and core so that experiment code (Figure 5) can evaluate
+// PartialErrors outside a Decompose run.
+func NewStateForAnalysis(x *tensor.Coord, factors []*mat.Dense, g *CoreTensor, threads int) *state {
+	if threads < 1 {
+		threads = 1
+	}
+	return &state{x: x, factors: factors, core: g, cfg: Config{Threads: threads, Ranks: g.Dims()}}
+}

@@ -1,0 +1,142 @@
+package cp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// plantedCP samples nnz observed entries from a random rank-R CP model.
+func plantedCP(rng *rand.Rand, dims []int, rank, nnz int, noise float64) *tensor.Coord {
+	n := len(dims)
+	factors := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		a := mat.NewDense(dims[m], rank)
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()
+		}
+		factors[m] = a
+	}
+	t := tensor.NewCoord(dims)
+	idx := make([]int, n)
+	seen := make(map[int]bool)
+	for t.NNZ() < nnz {
+		flat, stride := 0, 1
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			flat += idx[k] * stride
+			stride *= d
+		}
+		if seen[flat] {
+			continue
+		}
+		seen[flat] = true
+		var v float64
+		for r := 0; r < rank; r++ {
+			p := 1.0
+			for k := 0; k < n; k++ {
+				p *= factors[k].At(idx[k], r)
+			}
+			v += p
+		}
+		t.MustAppend(idx, v+noise*rng.NormFloat64())
+	}
+	return t
+}
+
+func TestCPRecoversPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := plantedCP(rng, []int{20, 18, 16}, 3, 1500, 0.01)
+	m, err := Decompose(x, Config{Rank: 3, Lambda: 0.01, MaxIters: 20, Threads: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.ReconstructionError(x); e > 0.1*x.Norm() {
+		t.Fatalf("error %v too high vs ||X||=%v", e, x.Norm())
+	}
+}
+
+func TestCPMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := plantedCP(rng, []int{15, 15, 15}, 2, 800, 0.05)
+	m, err := Decompose(x, Config{Rank: 2, Lambda: 0.01, MaxIters: 8, Threads: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Trace); i++ {
+		if m.Trace[i].Error > m.Trace[i-1].Error*(1+1e-6)+1e-9 {
+			t.Fatalf("error increased at sweep %d: %v -> %v",
+				i+1, m.Trace[i-1].Error, m.Trace[i].Error)
+		}
+	}
+}
+
+func TestCPGeneralization(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := plantedCP(rng, []int{20, 20, 20}, 2, 2000, 0.0)
+	train, test := x.Split(0.9, rng)
+	m, err := Decompose(train, Config{Rank: 2, Lambda: 0.01, MaxIters: 25, Threads: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := m.RMSE(test); rmse > 0.1 {
+		t.Fatalf("held-out RMSE %v too high on noise-free planted CP data", rmse)
+	}
+	if m.RMSE(tensor.NewCoord(x.Dims())) != 0 {
+		t.Fatal("RMSE over empty set must be 0")
+	}
+}
+
+func TestCPValidation(t *testing.T) {
+	x := tensor.NewCoord([]int{4, 4})
+	x.MustAppend([]int{0, 0}, 1)
+	bad := []Config{
+		{Rank: 0, MaxIters: 1},
+		{Rank: 2, MaxIters: 0},
+		{Rank: 2, MaxIters: 1, Lambda: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Decompose(x, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+	if _, err := Decompose(tensor.NewCoord([]int{4, 4}), Config{Rank: 2, MaxIters: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("empty tensor must be rejected")
+	}
+}
+
+func TestCPConvergenceStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := plantedCP(rng, []int{12, 12, 12}, 2, 600, 0.0)
+	m, err := Decompose(x, Config{Rank: 2, Lambda: 0.01, MaxIters: 50, Tol: 0.05, Threads: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Fatal("expected convergence on noise-free planted data")
+	}
+	if len(m.Trace) >= 50 {
+		t.Fatal("expected early stop")
+	}
+}
+
+func TestCPUnobservedRowZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.NewCoord([]int{10, 6, 6})
+	idx := make([]int, 3)
+	for x.NNZ() < 150 {
+		idx[0] = rng.Intn(9) // index 9 never observed
+		idx[1], idx[2] = rng.Intn(6), rng.Intn(6)
+		x.MustAppend(idx, rng.Float64())
+	}
+	m, err := Decompose(x, Config{Rank: 2, Lambda: 0.01, MaxIters: 4, Threads: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]int{9, 2, 2}); got != 0 {
+		t.Fatalf("prediction for unobserved row = %v want 0", got)
+	}
+}

@@ -1,0 +1,48 @@
+package csf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ttm"
+)
+
+// BenchmarkBuild measures CSF tree construction (sort + level compression).
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	x := randomSparse(rng, []int{500, 500, 500}, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(x)
+	}
+}
+
+// BenchmarkTTMcCSF vs BenchmarkTTMcReference is the ablation behind
+// Tucker-CSF: the tree-reusing TTMc against the per-nonzero expansion.
+func BenchmarkTTMcCSF(b *testing.B) {
+	rng := rand.New(rand.NewSource(62))
+	x := randomSparse(rng, []int{500, 500, 500}, 20000)
+	fs := randomFactors(rng, x.Dims(), []int{5, 5, 5})
+	tree := Build(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.TTMc(fs, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTTMcReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(62))
+	x := randomSparse(rng, []int{500, 500, 500}, 20000)
+	fs := randomFactors(rng, x.Dims(), []int{5, 5, 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ttm.MaterializeY(x, fs, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

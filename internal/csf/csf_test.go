@@ -1,0 +1,228 @@
+package csf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hooi"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+func randomSparse(rng *rand.Rand, dims []int, nnz int) *tensor.Coord {
+	t := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	seen := make(map[int]bool)
+	for t.NNZ() < nnz {
+		flat, stride := 0, 1
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			flat += idx[k] * stride
+			stride *= d
+		}
+		if seen[flat] {
+			continue
+		}
+		seen[flat] = true
+		t.MustAppend(idx, rng.Float64()*2-1)
+	}
+	return t
+}
+
+func randomFactors(rng *rand.Rand, dims, ranks []int) []*mat.Dense {
+	fs := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()*2 - 1
+		}
+		fs[m] = a
+	}
+	return fs
+}
+
+func fullLowRank(rng *rand.Rand, dims, ranks []int) *tensor.Coord {
+	factors := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		factors[m] = a
+	}
+	g := tensor.NewDenseTensor(ranks)
+	for i := range g.Data() {
+		g.Data()[i] = rng.NormFloat64()
+	}
+	dense := g.ModeProductChain(factors)
+	out := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	for off, v := range dense.Data() {
+		dense.IndexOf(off, idx)
+		out.MustAppend(idx, v)
+	}
+	return out
+}
+
+func TestBuildStructure(t *testing.T) {
+	// Two entries sharing the first coordinate must share a root node.
+	x := tensor.NewCoord([]int{2, 3, 4})
+	x.MustAppend([]int{0, 1, 2}, 1)
+	x.MustAppend([]int{0, 1, 3}, 2)
+	x.MustAppend([]int{1, 0, 0}, 3)
+	tree := Build(x)
+	if tree.NNZ() != 3 {
+		t.Fatalf("NNZ = %d want 3", tree.NNZ())
+	}
+	levels := tree.Levels()
+	// Mode order is by increasing dimension: modes (0,1,2) with dims 2,3,4.
+	// Roots: i0 ∈ {0,1} → 2; level 1: (0,1),(1,0) → 2; leaves: 3.
+	if levels[0] != 2 || levels[1] != 2 || levels[2] != 3 {
+		t.Fatalf("Levels = %v want [2 2 3]", levels)
+	}
+}
+
+func TestBuildMergesDuplicates(t *testing.T) {
+	x := tensor.NewCoord([]int{2, 2})
+	x.MustAppend([]int{1, 1}, 2)
+	x.MustAppend([]int{1, 1}, 3)
+	tree := Build(x)
+	if tree.NNZ() != 1 {
+		t.Fatalf("duplicates must merge: NNZ = %d", tree.NNZ())
+	}
+	if tree.vals[0] != 5 {
+		t.Fatalf("merged value = %v want 5", tree.vals[0])
+	}
+}
+
+// The CSF TTMc must produce the same row space as the reference kernel:
+// Y·Yᵀ is invariant to the column permutation between the two layouts.
+func TestTTMcMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{5, 4, 6}
+	ranks := []int{2, 3, 2}
+	x := randomSparse(rng, dims, 30)
+	fs := randomFactors(rng, dims, ranks)
+	tree := Build(x)
+	for n := 0; n < 3; n++ {
+		got, err := tree.TTMc(fs, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ttm.MaterializeY(x, fs, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1 := mat.MulT(got, got)
+		g2 := mat.MulT(want, want)
+		if !g1.Equal(g2, 1e-9) {
+			t.Fatalf("mode %d: CSF TTMc row space differs from reference", n)
+		}
+	}
+}
+
+func TestTTMcHighOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []int{3, 4, 3, 4}
+	ranks := []int{2, 2, 2, 2}
+	x := randomSparse(rng, dims, 25)
+	fs := randomFactors(rng, dims, ranks)
+	tree := Build(x)
+	for n := 0; n < 4; n++ {
+		got, err := tree.TTMc(fs, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ttm.MaterializeY(x, fs, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.MulT(got, got).Equal(mat.MulT(want, want), 1e-9) {
+			t.Fatalf("order-4 mode %d mismatch", n)
+		}
+	}
+}
+
+func TestTTMcBudget(t *testing.T) {
+	x := tensor.NewCoord([]int{100000, 100000, 100000})
+	x.MustAppend([]int{1, 2, 3}, 1)
+	fs := randomFactors(rand.New(rand.NewSource(3)), x.Dims(), []int{5, 5, 5})
+	tree := Build(x)
+	if _, err := tree.TTMc(fs, 0, 1024); !errors.Is(err, ttm.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestCSFDecomposeRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := fullLowRank(rng, []int{7, 6, 5}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := m.Trace[len(m.Trace)-1].Fit; fit < 0.999 {
+		t.Fatalf("fit = %v want ≈1", fit)
+	}
+}
+
+func TestCSFMatchesHOOIFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := fullLowRank(rng, []int{8, 7, 6}, []int{3, 3, 3})
+	mh, err := hooi.Decompose(x, hooi.Config{Ranks: []int{2, 2, 2}, MaxIters: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := mh.Trace[len(mh.Trace)-1].Fit
+	fc := mc.Trace[len(mc.Trace)-1].Fit
+	if math.Abs(fh-fc) > 1e-6 {
+		t.Fatalf("HOOI fit %v vs Tucker-CSF fit %v", fh, fc)
+	}
+}
+
+func TestCSFValidation(t *testing.T) {
+	x := tensor.NewCoord([]int{4, 4})
+	x.MustAppend([]int{0, 0}, 1)
+	bad := []Config{
+		{Ranks: []int{2}, MaxIters: 1},
+		{Ranks: []int{0, 2}, MaxIters: 1},
+		{Ranks: []int{9, 2}, MaxIters: 1},
+		{Ranks: []int{2, 2}, MaxIters: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Decompose(x, cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := Decompose(tensor.NewCoord([]int{4, 4}), Config{Ranks: []int{2, 2}, MaxIters: 1}); err == nil {
+		t.Fatal("empty tensor must be rejected")
+	}
+}
+
+func TestCSFCompression(t *testing.T) {
+	// A tensor with heavy prefix sharing compresses: fewer root nodes than
+	// leaves.
+	x := tensor.NewCoord([]int{2, 50, 50})
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]int, 3)
+	for x.NNZ() < 300 {
+		idx[0] = rng.Intn(2)
+		idx[1] = rng.Intn(50)
+		idx[2] = rng.Intn(50)
+		x.MustAppend(idx, 1)
+	}
+	tree := Build(x)
+	levels := tree.Levels()
+	if levels[0] >= tree.NNZ() {
+		t.Fatalf("no compression at root: %v nodes for %d nonzeros", levels[0], tree.NNZ())
+	}
+	if levels[0] != 2 {
+		t.Fatalf("root level should collapse to the 2 distinct indices of the shortest mode, got %d", levels[0])
+	}
+}

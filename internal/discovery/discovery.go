@@ -1,0 +1,176 @@
+// Package discovery implements Section V of the paper: concept discovery by
+// clustering factor-matrix rows (Table V) and relation discovery by
+// inspecting the largest core-tensor entries (Table VI).
+package discovery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kmeans"
+	"repro/internal/mat"
+)
+
+// Concept is one discovered cluster over a mode's indices.
+type Concept struct {
+	// Cluster is the cluster id.
+	Cluster int
+	// Members lists the row indices of the mode assigned to the cluster,
+	// ordered by increasing distance to the centroid (the most
+	// representative members first).
+	Members []int
+}
+
+// Concepts clusters the rows of factor matrix A(mode) into k groups with
+// k-means (K-means clustering on factor matrices, Section V) and returns the
+// clusters with their members ranked by representativeness. topPerConcept
+// bounds the member lists (0 means unbounded).
+func Concepts(m *core.Model, mode, k, topPerConcept int, rng *rand.Rand) ([]Concept, error) {
+	a := m.Factors[mode]
+	res, err := kmeans.Cluster(a, k, 100, rng)
+	if err != nil {
+		return nil, err
+	}
+	return conceptsFromAssign(a, res, topPerConcept), nil
+}
+
+// ConceptPurity clusters the rows of A(mode) and scores the clustering
+// against ground-truth labels, the quantitative check behind the Table V
+// experiment on planted data.
+func ConceptPurity(m *core.Model, mode, k int, labels []int, rng *rand.Rand) (float64, error) {
+	a := m.Factors[mode]
+	res, err := kmeans.Cluster(a, k, 100, rng)
+	if err != nil {
+		return 0, err
+	}
+	return kmeans.Purity(res.Assign, labels), nil
+}
+
+func conceptsFromAssign(a *mat.Dense, res *kmeans.Result, top int) []Concept {
+	k := res.Centroids.Rows()
+	concepts := make([]Concept, k)
+	type member struct {
+		row  int
+		dist float64
+	}
+	byCluster := make([][]member, k)
+	for i, c := range res.Assign {
+		var d float64
+		row := a.Row(i)
+		cent := res.Centroids.Row(c)
+		for j, v := range row {
+			diff := v - cent[j]
+			d += diff * diff
+		}
+		byCluster[c] = append(byCluster[c], member{i, d})
+	}
+	for c := 0; c < k; c++ {
+		ms := byCluster[c]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].dist < ms[j].dist })
+		if top > 0 && len(ms) > top {
+			ms = ms[:top]
+		}
+		concepts[c].Cluster = c
+		for _, mm := range ms {
+			concepts[c].Members = append(concepts[c].Members, mm.row)
+		}
+	}
+	return concepts
+}
+
+// Relation is a discovered association between columns of the factor
+// matrices, weighted by a core entry: "an entry (j1,...,jN) of G is
+// associated with the jn-th column of A(n) ... with a strength G(j1,...,jN)"
+// (Section V).
+type Relation struct {
+	// CoreIndex is the core entry's multi-index (j1..jN).
+	CoreIndex []int
+	// Value is the core entry Gβ (the relation strength).
+	Value float64
+	// TopIndices[n] lists the row indices of mode n with the largest
+	// absolute loading in column jn — e.g. the hours most associated with
+	// the relation for an hour mode.
+	TopIndices [][]int
+}
+
+// Relations returns the topK strongest relations: the core entries with the
+// largest |Gβ|, each annotated with the topLoad highest-loading indices per
+// mode.
+func Relations(m *core.Model, topK, topLoad int) []Relation {
+	indices, values := m.Core.MaxAbsEntries(topK)
+	out := make([]Relation, 0, len(indices))
+	for r := range indices {
+		rel := Relation{CoreIndex: indices[r], Value: values[r]}
+		for n, a := range m.Factors {
+			col := indices[r][n]
+			rel.TopIndices = append(rel.TopIndices, topAbsRows(a, col, topLoad))
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+// topAbsRows returns the indices of the `top` rows with the largest |A[i][col]|.
+func topAbsRows(a *mat.Dense, col, top int) []int {
+	type load struct {
+		row int
+		abs float64
+	}
+	loads := make([]load, a.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		v := a.At(i, col)
+		if v < 0 {
+			v = -v
+		}
+		loads[i] = load{i, v}
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].abs > loads[j].abs })
+	if top > len(loads) {
+		top = len(loads)
+	}
+	out := make([]int, top)
+	for i := 0; i < top; i++ {
+		out[i] = loads[i].row
+	}
+	return out
+}
+
+// OverlapScore measures how well a discovered relation's top indices for one
+// mode agree with a planted ground-truth set: |discovered ∩ planted| /
+// min(|discovered|, |planted|). 1.0 is a perfect hit.
+func OverlapScore(discovered, planted []int) float64 {
+	if len(discovered) == 0 || len(planted) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(planted))
+	for _, p := range planted {
+		set[p] = true
+	}
+	hits := 0
+	for _, d := range discovered {
+		if set[d] {
+			hits++
+		}
+	}
+	den := len(discovered)
+	if len(planted) < den {
+		den = len(planted)
+	}
+	return float64(hits) / float64(den)
+}
+
+// Describe renders a relation for human consumption with optional per-mode
+// names (e.g. ["user","movie","year","hour"]).
+func (r Relation) Describe(modeNames []string) string {
+	s := fmt.Sprintf("G%v = %.4g:", r.CoreIndex, r.Value)
+	for n, tops := range r.TopIndices {
+		name := fmt.Sprintf("mode%d", n+1)
+		if n < len(modeNames) {
+			name = modeNames[n]
+		}
+		s += fmt.Sprintf(" %s%v", name, tops)
+	}
+	return s
+}

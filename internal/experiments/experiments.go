@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV) and discovery study (Section V): each experiment id
+// maps to a function that runs the corresponding workload sweep and prints
+// the same rows/series the paper reports. Default parameters are reduced to
+// single-core scale (see DESIGN.md §3); ScaleFull restores paper-sized
+// shapes.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csf"
+	"repro/internal/hooi"
+	"repro/internal/shot"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+	"repro/internal/wopt"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects reduced (small) or paper-sized (full) parameters.
+	Scale synth.Scale
+	// Seed drives all data generation and initialization.
+	Seed int64
+	// Threads is the worker count for P-Tucker; 0 means GOMAXPROCS.
+	Threads int
+	// Iters is the number of ALS iterations used for per-iteration timing
+	// sweeps; 0 means 2 (one warm, one measured — the paper reports average
+	// time per iteration).
+	Iters int
+	// Out receives progress lines during long sweeps; nil discards them.
+	Out io.Writer
+}
+
+func (o *Options) norm() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Iters <= 0 {
+		o.Iters = 2
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig6a").
+	ID string
+	// Title describes the regenerated artifact.
+	Title string
+	// Text is the rendered paper-style table(s).
+	Text string
+	// Values exposes key metrics for programmatic assertions (benches,
+	// integration tests); keys are experiment-specific.
+	Values map[string]float64
+}
+
+// runner is the signature of one experiment.
+type runner struct {
+	title string
+	run   func(Options) (*Result, error)
+}
+
+var registry map[string]runner
+
+// init builds the registry at run time; a static initializer would form an
+// initialization cycle because the experiment functions themselves call
+// Title().
+func init() {
+	registry = map[string]runner{
+		"fig5":   {"Figure 5: distribution of partial reconstruction error R(β)", Fig5},
+		"fig6a":  {"Figure 6(a): time/iteration vs tensor order", Fig6a},
+		"fig6b":  {"Figure 6(b): time/iteration vs dimensionality", Fig6b},
+		"fig6c":  {"Figure 6(c): time/iteration vs observed entries", Fig6c},
+		"fig6d":  {"Figure 6(d): time/iteration vs rank", Fig6d},
+		"fig7":   {"Figure 7: time/iteration on real-world tensors (simulated)", Fig7},
+		"fig8":   {"Figure 8: P-Tucker vs P-Tucker-Cache (time & memory)", Fig8},
+		"fig9":   {"Figure 9: P-Tucker vs P-Tucker-Approx (time & convergence)", Fig9},
+		"fig10":  {"Figure 10: speed-up and memory vs threads", Fig10},
+		"fig11":  {"Figure 11: accuracy on real-world tensors (simulated)", Fig11},
+		"table3": {"Table III: empirical complexity checks", Table3},
+		"table5": {"Table V: concept discovery on MovieLens (simulated)", Table5},
+		"table6": {"Table VI: relation discovery on MovieLens (simulated)", Table6},
+	}
+}
+
+// IDs returns the experiment identifiers in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the description of an experiment id.
+func Title(id string) string { return registry[id].title }
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	opt.norm()
+	return r.run(opt)
+}
+
+// methodOutcome is one (method, configuration) measurement within a sweep.
+type methodOutcome struct {
+	TimePerIter time.Duration
+	Err         error // non-nil for O.O.M. or other failures
+	ReconErr    float64
+	RMSE        float64
+}
+
+// oomLabel renders a measurement the way the figures do: a time, or O.O.M.
+func (m methodOutcome) timeLabel() string {
+	if m.Err != nil {
+		if errors.Is(m.Err, ttm.ErrOutOfMemory) {
+			return "O.O.M."
+		}
+		return "err:" + m.Err.Error()
+	}
+	return fmt.Sprintf("%.4gs", m.TimePerIter.Seconds())
+}
+
+// runPTucker measures the P-Tucker family.
+func runPTucker(x *tensor.Coord, ranks []int, method core.Method, iters, threads int, seed int64) methodOutcome {
+	cfg := core.Defaults(ranks)
+	cfg.Method = method
+	cfg.MaxIters = iters
+	cfg.Tol = 0
+	cfg.Threads = threads
+	cfg.Seed = seed
+	m, err := core.Decompose(x, cfg)
+	if err != nil {
+		return methodOutcome{Err: err}
+	}
+	return methodOutcome{TimePerIter: m.TimePerIteration(), ReconErr: m.TrainError}
+}
+
+// decomposeBaseline runs one zero-filling baseline by name.
+func decomposeBaseline(name string, x *tensor.Coord, ranks []int, iters int, seed int64) (*ttm.Model, error) {
+	switch name {
+	case "Tucker-ALS":
+		return hooi.Decompose(x, hooi.Config{Ranks: ranks, MaxIters: iters, Seed: seed})
+	case "S-HOT":
+		return shot.Decompose(x, shot.Config{Ranks: ranks, MaxIters: iters, Seed: seed})
+	case "Tucker-CSF":
+		return csf.Decompose(x, csf.Config{Ranks: ranks, MaxIters: iters, Seed: seed})
+	default:
+		return nil, fmt.Errorf("experiments: unknown baseline %q", name)
+	}
+}
+
+// runBaseline measures one zero-filling baseline's per-iteration time.
+func runBaseline(name string, x *tensor.Coord, ranks []int, iters int, seed int64) methodOutcome {
+	m, err := decomposeBaseline(name, x, ranks, iters, seed)
+	if err != nil {
+		return methodOutcome{Err: err}
+	}
+	return methodOutcome{TimePerIter: m.TimePerIteration(), ReconErr: m.ReconstructionError(x)}
+}
+
+// maxProcs reports the host parallelism available to goroutine workers.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// runWOpt measures Tucker-wOpt.
+func runWOpt(x *tensor.Coord, ranks []int, iters int, seed int64) methodOutcome {
+	m, err := wopt.Decompose(x, wopt.Config{Ranks: ranks, MaxIters: iters, Seed: seed})
+	if err != nil {
+		return methodOutcome{Err: err}
+	}
+	return methodOutcome{TimePerIter: m.TimePerIteration(), ReconErr: m.ReconstructionError(x)}
+}
+
+// uniformRanks returns an N-vector of equal ranks.
+func uniformRanks(n, j int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = j
+	}
+	return r
+}
+
+func progressf(opt Options, format string, args ...interface{}) {
+	fmt.Fprintf(opt.Out, format+"\n", args...)
+}

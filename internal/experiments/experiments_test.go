@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func fastOpt() Options {
+	return Options{Scale: synth.ScaleSmall, Seed: 1, Threads: 2, Iters: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation must have a regenerator.
+	want := []string{
+		"fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "table3", "table5", "table6",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments want %d: %v", len(ids), len(want), ids)
+	}
+	have := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q missing from registry %v", id, ids)
+		}
+		if Title(id) == "" {
+			t.Fatalf("experiment %q has no title", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", fastOpt()); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Run("fig5", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Pareto skew: the top-20% of core entries must account for
+	// well over half of the positive partial error.
+	share := res.Values["top20_share"]
+	if share < 0.5 || share > 1.0001 {
+		t.Fatalf("top-20%% share = %v, want the paper's heavy-tail shape (>0.5)", share)
+	}
+	if !strings.Contains(res.Text, "top 20%") {
+		t.Fatal("rendered table missing percentile rows")
+	}
+}
+
+func TestTable5ConceptPurity(t *testing.T) {
+	res, err := Run("table5", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity, chance := res.Values["purity"], res.Values["chance"]
+	if purity < 2*chance {
+		t.Fatalf("purity %v not meaningfully above chance %v", purity, chance)
+	}
+	if !strings.Contains(res.Text, "concept") {
+		t.Fatal("rendered table missing concept rows")
+	}
+}
+
+func TestTable6RelationOverlap(t *testing.T) {
+	res, err := Run("table6", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discovered relations must overlap the planted (year, hour) peaks far
+	// beyond chance (random 4-of-21 years × 4-of-24 hours ≈ 0.18 expected).
+	if res.Values["mean_overlap"] < 0.4 {
+		t.Fatalf("mean planted overlap = %v, relations not recovered", res.Values["mean_overlap"])
+	}
+}
+
+func TestFig9ApproxTradeoff(t *testing.T) {
+	opt := fastOpt()
+	res, err := Run("fig9", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The approximation must shrink per-iteration time as |G| decays...
+	if res.Values["approx_last_iter"] >= res.Values["approx_first_iter"] {
+		t.Fatalf("approx per-iteration time did not decrease: first %v last %v",
+			res.Values["approx_first_iter"], res.Values["approx_last_iter"])
+	}
+	// ...while keeping the error within a factor of the exact variant
+	// (paper: "almost the same accuracy").
+	if res.Values["approx_final_err"] > 2*res.Values["plain_final_err"] {
+		t.Fatalf("approx error %v too far above plain %v",
+			res.Values["approx_final_err"], res.Values["plain_final_err"])
+	}
+}
+
+func TestFig8MemoryTradeoff(t *testing.T) {
+	res, err := Run("fig8", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache table must dominate plain P-Tucker's O(T·J²) workspaces by
+	// orders of magnitude at the largest order (paper: 29.5x at N=10 — our
+	// reduced scale reaches far larger ratios because T·J² is tiny).
+	if res.Values["memratio_n8"] < 10 {
+		t.Fatalf("cache/plain memory ratio = %v, want the Table III separation", res.Values["memratio_n8"])
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var opt Options
+	opt.norm()
+	if opt.Seed == 0 || opt.Iters == 0 || opt.Out == nil {
+		t.Fatalf("norm did not fill defaults: %+v", opt)
+	}
+}
+
+func TestMethodOutcomeLabels(t *testing.T) {
+	ok := methodOutcome{TimePerIter: 1500000000}
+	if got := ok.timeLabel(); got != "1.5s" {
+		t.Fatalf("time label = %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// Fig6a regenerates Figure 6(a): time per iteration as the tensor order N
+// grows, I=100 (→30 at small scale), |Ω|=10³, J=3, for P-Tucker, S-HOT,
+// Tucker-CSF and Tucker-wOpt. The paper's shape: P-Tucker fastest at every
+// order; wOpt orders of magnitude slower and O.O.M. beyond small N (its
+// dense intermediates are Iᴺ cells).
+func Fig6a(opt Options) (*Result, error) {
+	iDim, orders := 30, []int{3, 4, 5, 6, 7, 8}
+	if opt.Scale == synth.ScaleFull {
+		iDim, orders = 100, []int{3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	const nnz, j = 1000, 3
+
+	tbl := metrics.NewTable("order", "P-Tucker", "S-HOT", "Tucker-CSF", "Tucker-wOpt")
+	values := map[string]float64{}
+	for _, n := range orders {
+		progressf(opt, "fig6a: order %d", n)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		dims := make([]int, n)
+		for i := range dims {
+			dims[i] = iDim
+		}
+		x := synth.Uniform(rng, dims, nnz)
+		ranks := uniformRanks(n, j)
+
+		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
+		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
+		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
+
+		tbl.AddRow(n, pt.timeLabel(), sh.timeLabel(), cs.timeLabel(), wo.timeLabel())
+		values[fmt.Sprintf("ptucker_n%d_secs", n)] = pt.TimePerIter.Seconds()
+		if wo.Err != nil {
+			values[fmt.Sprintf("wopt_n%d_oom", n)] = 1
+		}
+	}
+	return &Result{
+		ID:    "fig6a",
+		Title: Title("fig6a"),
+		Text: fmt.Sprintf("Figure 6(a) — time per iteration vs order (I=%d, |Ω|=%d, J=%d)\n%s",
+			iDim, nnz, j, tbl),
+		Values: values,
+	}, nil
+}
+
+// Fig6b regenerates Figure 6(b): time per iteration as the dimensionality In
+// grows, N=3, |Ω|=10·In, J=10 (→5 at small scale). Expected shape: P-Tucker
+// consistently fastest; wOpt O.O.M. beyond tiny In (dense Iᴺ tensors).
+func Fig6b(opt Options) (*Result, error) {
+	dimsList, j := []int{100, 1000, 10000}, 5
+	if opt.Scale == synth.ScaleFull {
+		dimsList, j = []int{100, 1000, 10000, 100000}, 10
+	}
+	const n = 3
+
+	tbl := metrics.NewTable("dimensionality", "P-Tucker", "S-HOT", "Tucker-CSF", "Tucker-wOpt")
+	values := map[string]float64{}
+	for _, iDim := range dimsList {
+		progressf(opt, "fig6b: I=%d", iDim)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		x := synth.Uniform(rng, []int{iDim, iDim, iDim}, 10*iDim)
+		ranks := uniformRanks(n, min(j, iDim))
+
+		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
+		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
+		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
+
+		tbl.AddRow(iDim, pt.timeLabel(), sh.timeLabel(), cs.timeLabel(), wo.timeLabel())
+		values[fmt.Sprintf("ptucker_i%d_secs", iDim)] = pt.TimePerIter.Seconds()
+		if wo.Err != nil {
+			values[fmt.Sprintf("wopt_i%d_oom", iDim)] = 1
+		}
+	}
+	return &Result{
+		ID:    "fig6b",
+		Title: Title("fig6b"),
+		Text: fmt.Sprintf("Figure 6(b) — time per iteration vs dimensionality (N=%d, |Ω|=10·I, J=%d)\n%s",
+			n, j, tbl),
+		Values: values,
+	}, nil
+}
+
+// Fig6c regenerates Figure 6(c): time per iteration as |Ω| grows, N=3,
+// In=10⁷ (→10⁵ at small scale), J=10 (→5). Expected shape: P-Tucker fastest
+// and near-linear in |Ω|; wOpt O.O.M. for every size (Iᴺ dense cells).
+func Fig6c(opt Options) (*Result, error) {
+	iDim, j, nnzList := 100000, 5, []int{1000, 10000, 100000}
+	if opt.Scale == synth.ScaleFull {
+		iDim, j, nnzList = 10000000, 10, []int{1000, 10000, 100000, 1000000, 10000000}
+	}
+	const n = 3
+
+	tbl := metrics.NewTable("|Ω|", "P-Tucker", "S-HOT", "Tucker-CSF", "Tucker-wOpt")
+	values := map[string]float64{}
+	for _, nnz := range nnzList {
+		progressf(opt, "fig6c: |Ω|=%d", nnz)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		x := synth.Uniform(rng, []int{iDim, iDim, iDim}, nnz)
+		ranks := uniformRanks(n, j)
+
+		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
+		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
+		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
+
+		tbl.AddRow(nnz, pt.timeLabel(), sh.timeLabel(), cs.timeLabel(), wo.timeLabel())
+		values[fmt.Sprintf("ptucker_nnz%d_secs", nnz)] = pt.TimePerIter.Seconds()
+		if wo.Err != nil {
+			values[fmt.Sprintf("wopt_nnz%d_oom", nnz)] = 1
+		}
+	}
+	return &Result{
+		ID:    "fig6c",
+		Title: Title("fig6c"),
+		Text: fmt.Sprintf("Figure 6(c) — time per iteration vs observed entries (N=%d, I=%d, J=%d)\n%s",
+			n, iDim, j, tbl),
+		Values: values,
+	}, nil
+}
+
+// Fig6d regenerates Figure 6(d): time per iteration as the rank J grows,
+// N=3, In=10⁶ (→10⁴ at small scale), |Ω|=10⁷ (→10⁵). Expected shape:
+// P-Tucker fastest at all ranks; wOpt O.O.M. everywhere.
+func Fig6d(opt Options) (*Result, error) {
+	iDim, nnz, jList := 10000, 100000, []int{3, 5, 7, 9, 11}
+	if opt.Scale == synth.ScaleFull {
+		iDim, nnz = 1000000, 10000000
+	}
+	const n = 3
+
+	tbl := metrics.NewTable("rank", "P-Tucker", "S-HOT", "Tucker-CSF", "Tucker-wOpt")
+	values := map[string]float64{}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x := synth.Uniform(rng, []int{iDim, iDim, iDim}, nnz)
+	for _, j := range jList {
+		progressf(opt, "fig6d: J=%d", j)
+		ranks := uniformRanks(n, j)
+
+		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
+		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
+		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
+
+		tbl.AddRow(j, pt.timeLabel(), sh.timeLabel(), cs.timeLabel(), wo.timeLabel())
+		values[fmt.Sprintf("ptucker_j%d_secs", j)] = pt.TimePerIter.Seconds()
+	}
+	return &Result{
+		ID:    "fig6d",
+		Title: Title("fig6d"),
+		Text: fmt.Sprintf("Figure 6(d) — time per iteration vs rank (N=%d, I=%d, |Ω|=%d)\n%s",
+			n, iDim, nnz, tbl),
+		Values: values,
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

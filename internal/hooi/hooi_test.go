@@ -1,0 +1,157 @@
+package hooi
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+// fullLowRank builds a FULLY observed tensor that is exactly Tucker rank
+// (ranks), the regime where HOOI must recover an essentially perfect fit.
+func fullLowRank(rng *rand.Rand, dims, ranks []int) *tensor.Coord {
+	factors := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		factors[m] = a
+	}
+	g := tensor.NewDenseTensor(ranks)
+	for i := range g.Data() {
+		g.Data()[i] = rng.NormFloat64()
+	}
+	dense := g.ModeProductChain(factors)
+	out := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	for off, v := range dense.Data() {
+		dense.IndexOf(off, idx)
+		out.MustAppend(idx, v)
+	}
+	return out
+}
+
+func TestHOOIRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := fullLowRank(rng, []int{8, 7, 6}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := m.Trace[len(m.Trace)-1].Fit
+	if fit < 0.999 {
+		t.Fatalf("fit = %v want ≈1 for exact-rank input", fit)
+	}
+	// Eq. (5) error over the observed (here: all) entries must also be tiny.
+	if e := m.ReconstructionError(x); e > 1e-6*x.Norm() {
+		t.Fatalf("reconstruction error %v too large", e)
+	}
+}
+
+func TestHOOIFitNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := fullLowRank(rng, []int{9, 8, 7}, []int{3, 3, 3})
+	// Fit with a smaller rank than the truth so the fit stays below 1 and
+	// the ALS ascent is visible.
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Trace); i++ {
+		if m.Trace[i].Fit < m.Trace[i-1].Fit-1e-9 {
+			t.Fatalf("fit decreased at iteration %d: %v -> %v", i+1, m.Trace[i-1].Fit, m.Trace[i].Fit)
+		}
+	}
+}
+
+func TestHOOIFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := fullLowRank(rng, []int{8, 8, 8}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range m.Factors {
+		if !mat.Gram(a).Equal(mat.Identity(a.Cols()), 1e-8) {
+			t.Fatalf("factor %d not orthonormal", k)
+		}
+	}
+}
+
+func TestHOOIOutOfMemory(t *testing.T) {
+	dims := []int{100000, 100000, 100000}
+	x := tensor.NewCoord(dims)
+	x.MustAppend([]int{0, 1, 2}, 1)
+	x.MustAppend([]int{3, 4, 5}, 2)
+	cfg := Config{Ranks: []int{1, 1, 1}, MaxIters: 2, MemoryBudgetBytes: 1024}
+	if _, err := Decompose(x, cfg); !errors.Is(err, ttm.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestHOOIValidation(t *testing.T) {
+	x := tensor.NewCoord([]int{4, 4})
+	x.MustAppend([]int{0, 0}, 1)
+	cases := []Config{
+		{Ranks: []int{2}, MaxIters: 1},    // order mismatch
+		{Ranks: []int{0, 2}, MaxIters: 1}, // zero rank
+		{Ranks: []int{5, 2}, MaxIters: 1}, // rank > dim
+		{Ranks: []int{2, 2}, MaxIters: 0}, // bad iters
+	}
+	for i, cfg := range cases {
+		if _, err := Decompose(x, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+	empty := tensor.NewCoord([]int{4, 4})
+	if _, err := Decompose(empty, Config{Ranks: []int{2, 2}, MaxIters: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("empty tensor must be rejected")
+	}
+}
+
+func TestHOOIZeroFillBiasOnSparseData(t *testing.T) {
+	// On sparse data whose observed values are all ≈1, a zero-filling method
+	// drives most predictions toward 0, giving a large Eq. (5) error. This
+	// is the accuracy failure Figure 11 demonstrates.
+	rng := rand.New(rand.NewSource(6))
+	dims := []int{30, 30, 30}
+	x := tensor.NewCoord(dims)
+	idx := make([]int, 3)
+	for x.NNZ() < 200 {
+		for k := range idx {
+			idx[k] = rng.Intn(30)
+		}
+		x.MustAppend(idx, 0.9+0.1*rng.Float64())
+	}
+	m, err := Decompose(x, Config{Ranks: []int{3, 3, 3}, MaxIters: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err5 := m.ReconstructionError(x)
+	// With 200 observations of ≈1 spread over 27000 cells, the rank-27
+	// zero-fill approximation cannot reproduce the observed values; the
+	// error stays a large fraction of ||X||.
+	if err5 < 0.5*x.Norm() {
+		t.Fatalf("zero-filling method fit the observed entries unexpectedly well: %v vs ||X||=%v",
+			err5, x.Norm())
+	}
+}
+
+func TestHOOITolEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := fullLowRank(rng, []int{6, 6, 6}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 50, Tol: 1e-6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace) >= 50 {
+		t.Fatalf("expected early stop, ran %d iterations", len(m.Trace))
+	}
+	if m.TimePerIteration() <= 0 {
+		t.Fatal("per-iteration time must be positive")
+	}
+}

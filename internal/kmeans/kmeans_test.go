@@ -1,0 +1,133 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// threeBlobs builds 30 rows in 2D forming three well-separated clusters.
+func threeBlobs(rng *rand.Rand) (*mat.Dense, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	a := mat.NewDense(30, 2)
+	labels := make([]int, 30)
+	for i := 0; i < 30; i++ {
+		c := i % 3
+		labels[i] = c
+		a.Set(i, 0, centers[c][0]+rng.NormFloat64()*0.3)
+		a.Set(i, 1, centers[c][1]+rng.NormFloat64()*0.3)
+	}
+	return a, labels
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, labels := threeBlobs(rng)
+	res, err := Cluster(a, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Assign, labels); p != 1 {
+		t.Fatalf("purity = %v want 1 on separated blobs", p)
+	}
+	if res.Inertia > 30*2*0.3*0.3*9 {
+		t.Fatalf("inertia %v too large for tight blobs", res.Inertia)
+	}
+	if res.Iters < 1 {
+		t.Fatal("must run at least one iteration")
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, _ := threeBlobs(rng)
+	res, err := Cluster(a, 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assign {
+		if c != 0 {
+			t.Fatal("k=1 must assign everything to cluster 0")
+		}
+	}
+}
+
+func TestClusterBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := mat.NewDense(5, 2)
+	if _, err := Cluster(a, 0, 10, rng); err != ErrBadK {
+		t.Fatalf("k=0: err = %v want ErrBadK", err)
+	}
+	if _, err := Cluster(a, 6, 10, rng); err != ErrBadK {
+		t.Fatalf("k>rows: err = %v want ErrBadK", err)
+	}
+}
+
+func TestClusterKEqualsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := mat.NewDense(4, 2)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i*10))
+	}
+	res, err := Cluster(a, 4, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k == rows and distinct points every row gets its own cluster.
+	seen := make(map[int]bool)
+	for _, c := range res.Assign {
+		if seen[c] {
+			t.Fatal("duplicate cluster with k == rows of distinct points")
+		}
+		seen[c] = true
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("inertia %v want 0", res.Inertia)
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := mat.NewDense(6, 2)
+	a.Fill(3)
+	res, err := Cluster(a, 2, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("identical points must have zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if p := Purity([]int{0, 0, 1, 1}, []int{5, 5, 7, 7}); p != 1 {
+		t.Fatalf("perfect clustering purity = %v want 1", p)
+	}
+	if p := Purity([]int{0, 0, 0, 0}, []int{1, 1, 2, 2}); p != 0.5 {
+		t.Fatalf("single-cluster purity = %v want 0.5", p)
+	}
+	if p := Purity(nil, nil); p != 0 {
+		t.Fatal("empty purity must be 0")
+	}
+	if p := Purity([]int{0}, []int{0, 1}); p != 0 {
+		t.Fatal("mismatched lengths must score 0")
+	}
+}
+
+func TestClusterDeterministicWithSeed(t *testing.T) {
+	a, _ := threeBlobs(rand.New(rand.NewSource(6)))
+	r1, err := Cluster(a, 3, 50, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cluster(a, 3, 50, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("same seed must give same clustering")
+		}
+	}
+}

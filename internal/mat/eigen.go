@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence is
+// quadratic once rotations become small; 64 sweeps is far beyond what any
+// J^(N-1)-sized Gram matrix needs in practice.
+const maxJacobiSweeps = 64
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method: a = V * diag(vals) * Vᵀ. Eigenvalues are
+// returned in descending order with matching eigenvector columns in V.
+//
+// The Jacobi method is chosen over tridiagonalization+QL because the matrices
+// here are small Gram matrices (J^(N-1) square at most) where Jacobi's
+// simplicity and high relative accuracy dominate; the baselines (HOOI, S-HOT,
+// Tucker-CSF) all reduce their SVDs to symmetric eigenproblems of this size.
+func SymEigen(a *Dense) (vals []float64, v *Dense, err error) {
+	if a.rows != a.cols {
+		return nil, nil, ErrShape
+	}
+	n := a.rows
+	w := a.Clone() // working copy, becomes diagonal
+	v = Identity(n)
+	if n == 0 {
+		return []float64{}, v, nil
+	}
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+
+	// Scale-aware convergence threshold.
+	eps := 1e-30 * w.FrobeniusNorm() * w.FrobeniusNorm()
+	if eps == 0 {
+		eps = 1e-300
+	}
+
+	converged := false
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offDiag() <= eps {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute the Jacobi rotation that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e150 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply rotation: W ← Jᵀ W J on rows/cols p and q.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors: V ← V J.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	if !converged && offDiag() > eps {
+		return nil, nil, ErrNoConverge
+	}
+
+	// Extract eigenvalues and sort descending along with eigenvectors.
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	sortedVals := make([]float64, n)
+	sortedV := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedV, nil
+}

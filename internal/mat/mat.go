@@ -1,0 +1,351 @@
+// Package mat provides the dense linear-algebra kernels required by the
+// P-Tucker reproduction: matrix storage, products, Cholesky and LU solvers,
+// Householder QR, a symmetric Jacobi eigensolver, and a Gram-based thin SVD.
+//
+// The reference implementation of the paper relies on Armadillo/LAPACK for
+// these operations; Go has no such substrate in the standard library, so the
+// kernels are implemented here from scratch. All matrices are row-major
+// float64 and sized for the regime the algorithms need: the Tucker rank J is
+// small (typically 3..16), so O(J^3) factorizations are cheap, while factor
+// matrices (In x Jn) are tall and skinny.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common error values returned by the solvers in this package.
+var (
+	// ErrShape indicates incompatible matrix dimensions for an operation.
+	ErrShape = errors.New("mat: incompatible matrix shapes")
+	// ErrSingular indicates a numerically singular matrix was passed to a
+	// solver that requires an invertible input.
+	ErrSingular = errors.New("mat: matrix is singular to working precision")
+	// ErrNotSPD indicates a matrix that is not symmetric positive definite
+	// was passed to the Cholesky factorization.
+	ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+	// ErrNoConverge indicates an iterative kernel exceeded its sweep budget.
+	ErrNoConverge = errors.New("mat: iteration did not converge")
+)
+
+// Dense is a row-major dense matrix. The zero value is an empty matrix; use
+// NewDense or NewDenseData to construct a usable instance.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns an r x c matrix of zeros.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) in a Dense without copying.
+// The caller must not alias the slice afterwards unless that sharing is
+// intended.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a mutable view of row i (no copy).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the backing row-major slice (no copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// CopyFrom overwrites m with the contents of src. The shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(ErrShape)
+	}
+	copy(m.data, src.data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddScaled adds s*other to m in place. The shapes must match.
+func (m *Dense) AddScaled(other *Dense, s float64) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic(ErrShape)
+	}
+	for i, v := range other.data {
+		m.data[i] += s * v
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty matrices.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and other have the same shape and every pair of
+// elements differs by at most tol.
+func (m *Dense) Equal(other *Dense, tol float64) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-other.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every element is finite (no NaN or Inf).
+func (m *Dense) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShow = 8
+	s := fmt.Sprintf("Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < maxShow; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols && j < maxShow; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+		if m.cols > maxShow {
+			s += " …"
+		}
+	}
+	if m.rows > maxShow {
+		s += "; …"
+	}
+	return s + "]"
+}
+
+// Mul returns a*b. It panics with ErrShape on dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, b.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b, reusing dst's storage. dst must not alias a or
+// b and must already have shape a.rows x b.cols.
+func MulInto(dst, a, b *Dense) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic(ErrShape)
+	}
+	dst.Zero()
+	// ikj loop order: stream b rows, accumulate into dst rows; this is the
+	// cache-friendly order for row-major storage.
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns a*bᵀ.
+func MulT(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// TMul returns aᵀ*b.
+func TMul(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀ*a, the k x k Gram matrix of a's columns.
+func Gram(a *Dense) *Dense { return TMul(a, a) }
+
+// MulVec returns a*x as a new vector of length a.rows.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// VecMul returns xᵀ*a as a new vector of length a.cols.
+func VecMul(x []float64, a *Dense) []float64 {
+	if a.rows != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.cols)
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Row(k)
+		for j, av := range row {
+			out[j] += xv * av
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(ErrShape)
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Axpy computes y += a*x element-wise.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(ErrShape)
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}

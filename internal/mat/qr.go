@@ -1,0 +1,146 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization A = Q*R of an m x n matrix with
+// m >= n. P-Tucker uses it at the end of Algorithm 2 to orthogonalize factor
+// matrices (A(n) = Q(n)R(n), Eq. 7): Q replaces the factor and R is folded
+// into the core tensor (Eq. 8).
+type QR struct {
+	m, n int
+	qr   []float64 // Householder vectors below diagonal, R on/above
+	rd   []float64 // diagonal of R
+}
+
+// NewQR factorizes a (m x n, m >= n) using Householder reflections. a is not
+// modified.
+func NewQR(a *Dense) (*QR, error) {
+	if a.rows < a.cols {
+		return nil, ErrShape
+	}
+	m, n := a.rows, a.cols
+	qr := make([]float64, m*n)
+	copy(qr, a.data)
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr[i*n+k])
+		}
+		if nrm == 0 {
+			// Zero column: no reflection needed; R diagonal entry is 0.
+			rd[k] = 0
+			continue
+		}
+		if qr[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr[i*n+k] /= nrm
+		}
+		qr[k*n+k] += 1
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr[i*n+k] * qr[i*n+j]
+			}
+			s = -s / qr[k*n+k]
+			for i := k; i < m; i++ {
+				qr[i*n+j] += s * qr[i*n+k]
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{m: m, n: n, qr: qr, rd: rd}, nil
+}
+
+// R returns the n x n upper-triangular factor.
+func (f *QR) R() *Dense {
+	r := NewDense(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		r.Set(i, i, f.rd[i])
+		for j := i + 1; j < f.n; j++ {
+			r.Set(i, j, f.qr[i*f.n+j])
+		}
+	}
+	return r
+}
+
+// Q returns the thin m x n orthonormal factor.
+func (f *QR) Q() *Dense {
+	m, n := f.m, f.n
+	q := NewDense(m, n)
+	for k := n - 1; k >= 0; k-- {
+		q.Set(k, k, 1)
+		if f.qr[k*n+k] == 0 {
+			// Degenerate (zero) column: leave the unit vector; the
+			// resulting Q still has orthonormal columns.
+			continue
+		}
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += f.qr[i*n+k] * q.At(i, j)
+			}
+			s = -s / f.qr[k*n+k]
+			for i := k; i < m; i++ {
+				q.Add(i, j, s*f.qr[i*n+k])
+			}
+		}
+	}
+	return q
+}
+
+// QRFactor is a convenience wrapper returning thin Q (m x n) and R (n x n)
+// with A = Q*R.
+func QRFactor(a *Dense) (q, r *Dense, err error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Q(), f.R(), nil
+}
+
+// GramSchmidt orthonormalizes the columns of a in place using modified
+// Gram-Schmidt, returning the number of numerically independent columns.
+// Dependent columns are replaced with zeros. It is used by the orthogonal
+// iteration in the SVD kernels where a full QR is unnecessary.
+func GramSchmidt(a *Dense) int {
+	m, n := a.rows, a.cols
+	rank := 0
+	for j := 0; j < n; j++ {
+		// Subtract projections onto previous columns.
+		for k := 0; k < j; k++ {
+			var dot float64
+			for i := 0; i < m; i++ {
+				dot += a.At(i, k) * a.At(i, j)
+			}
+			if dot == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				a.Add(i, j, -dot*a.At(i, k))
+			}
+		}
+		var nrm float64
+		for i := 0; i < m; i++ {
+			v := a.At(i, j)
+			nrm += v * v
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-12 {
+			for i := 0; i < m; i++ {
+				a.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / nrm
+		for i := 0; i < m; i++ {
+			a.Set(i, j, a.At(i, j)*inv)
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,201 @@
+package mat
+
+import "math"
+
+// SVDThin holds a thin singular value decomposition A = U * diag(S) * Vᵀ of
+// an m x n matrix with m >= n: U is m x n with orthonormal columns, S holds n
+// non-negative singular values in descending order, V is n x n orthogonal.
+type SVDThin struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// SVD computes the thin SVD of a via the Gram-matrix route:
+//
+//	AᵀA = V Σ² Vᵀ  (symmetric Jacobi eigendecomposition)
+//	U   = A V Σ⁻¹  (columns with σ≈0 are completed arbitrarily but orthogonally)
+//
+// This is the standard trick for the tall-skinny matrices produced in HOOI:
+// the matricized TTMc result Y(n) is In x ∏_{m≠n} Jm where the column count
+// is tiny, so the n x n eigenproblem is cheap and the In-sized work is a
+// single pass. Accuracy for small singular values is lower than
+// Golub-Kahan's, which is acceptable here: the baselines only need leading
+// singular vectors of noisy data.
+func SVD(a *Dense) (*SVDThin, error) {
+	if a.rows < a.cols {
+		// Decompose the transpose and swap U/V.
+		st, err := SVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVDThin{U: st.V, S: st.S, V: st.U}, nil
+	}
+	g := Gram(a) // n x n
+	vals, v, err := SymEigen(g)
+	if err != nil {
+		return nil, err
+	}
+	n := a.cols
+	s := make([]float64, n)
+	for i, ev := range vals {
+		if ev < 0 {
+			ev = 0 // numerical noise below zero
+		}
+		s[i] = math.Sqrt(ev)
+	}
+	u := Mul(a, v) // m x n, columns are A*v_i with norm σ_i
+	// Normalize columns of U; regenerate degenerate ones via Gram-Schmidt.
+	for j := 0; j < n; j++ {
+		if s[j] > 1e-12 {
+			inv := 1 / s[j]
+			for i := 0; i < a.rows; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		} else {
+			for i := 0; i < a.rows; i++ {
+				u.Set(i, j, 0)
+			}
+		}
+	}
+	completeOrthonormal(u)
+	return &SVDThin{U: u, S: s, V: v}, nil
+}
+
+// LeadingLeftSingularVectors returns the first k left singular vectors of a
+// as the columns of an a.rows x k matrix. This is the "Jn leading left
+// singular vectors of Y(n)" step of Tucker-ALS (Algorithm 1, line 5). For
+// wide Gram matrices (many columns, few wanted vectors) it switches to the
+// truncated subspace-iteration path, which is what keeps the HOOI-family
+// baselines tractable at high tensor orders where the column count is
+// J^(N-1).
+func LeadingLeftSingularVectors(a *Dense, k int) (*Dense, error) {
+	if k > a.cols {
+		return nil, ErrShape
+	}
+	if a.cols > eigenTopKCutoff && a.rows >= a.cols && k*2 < a.cols {
+		g := Gram(a)
+		vals, v, err := EigenTopK(g, k)
+		if err != nil {
+			return nil, err
+		}
+		u := Mul(a, v) // m x k, column norms are the singular values
+		for j := 0; j < k; j++ {
+			ev := vals[j]
+			if ev < 0 {
+				ev = 0
+			}
+			s := math.Sqrt(ev)
+			if s > 1e-12 {
+				inv := 1 / s
+				for i := 0; i < a.rows; i++ {
+					u.Set(i, j, u.At(i, j)*inv)
+				}
+			} else {
+				for i := 0; i < a.rows; i++ {
+					u.Set(i, j, 0)
+				}
+			}
+		}
+		completeOrthonormal(u)
+		return u, nil
+	}
+	st, err := SVD(a)
+	if err != nil {
+		return nil, err
+	}
+	out := NewDense(a.rows, k)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, st.U.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// LeftSingularFromGram reconstructs the k leading left singular vectors of an
+// implicit matrix Y (m x n) given only its Gram matrix G = YᵀY and an
+// apply(v) operation computing Y*v. This is the S-HOT on-the-fly kernel: Y is
+// never materialized; memory stays O(n²).
+func LeftSingularFromGram(gram *Dense, m, k int, apply func(v []float64) []float64) (*Dense, []float64, error) {
+	vals, v, err := SymEigen(gram)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := gram.rows
+	if k > n {
+		return nil, nil, ErrShape
+	}
+	s := make([]float64, k)
+	u := NewDense(m, k)
+	vec := make([]float64, n)
+	for j := 0; j < k; j++ {
+		ev := vals[j]
+		if ev < 0 {
+			ev = 0
+		}
+		s[j] = math.Sqrt(ev)
+		for i := 0; i < n; i++ {
+			vec[i] = v.At(i, j)
+		}
+		col := apply(vec)
+		if len(col) != m {
+			return nil, nil, ErrShape
+		}
+		if s[j] > 1e-12 {
+			inv := 1 / s[j]
+			for i := 0; i < m; i++ {
+				u.Set(i, j, col[i]*inv)
+			}
+		}
+	}
+	completeOrthonormal(u)
+	return u, s, nil
+}
+
+// completeOrthonormal replaces any all-zero columns of u with unit vectors
+// orthogonal to the existing columns so that u always has orthonormal
+// columns. Zero columns arise when the source matrix is rank-deficient.
+func completeOrthonormal(u *Dense) {
+	m, n := u.rows, u.cols
+	for j := 0; j < n; j++ {
+		var nrm float64
+		for i := 0; i < m; i++ {
+			nrm += u.At(i, j) * u.At(i, j)
+		}
+		if nrm > 0.5 {
+			continue // healthy unit column
+		}
+		// Try canonical basis vectors until one survives orthogonalization.
+		for e := 0; e < m; e++ {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, 0)
+			}
+			u.Set(e, j, 1)
+			// Orthogonalize against all other columns.
+			for k := 0; k < n; k++ {
+				if k == j {
+					continue
+				}
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += u.At(i, k) * u.At(i, j)
+				}
+				for i := 0; i < m; i++ {
+					u.Add(i, j, -dot*u.At(i, k))
+				}
+			}
+			var rn float64
+			for i := 0; i < m; i++ {
+				rn += u.At(i, j) * u.At(i, j)
+			}
+			if rn > 1e-6 {
+				inv := 1 / math.Sqrt(rn)
+				for i := 0; i < m; i++ {
+					u.Set(i, j, u.At(i, j)*inv)
+				}
+				break
+			}
+		}
+	}
+}

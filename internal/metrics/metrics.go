@@ -1,0 +1,119 @@
+// Package metrics provides the measurement helpers shared by the experiment
+// harness: workload-balance statistics for the parallelization study
+// (Section IV-D), live memory sampling, and plain-text table rendering for
+// the paper-style outputs.
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Balance summarizes how evenly work was distributed over threads.
+type Balance struct {
+	// Threads is the number of workers that reported work.
+	Threads int
+	// Max and Mean are the largest and average per-thread work counts.
+	Max, Mean float64
+	// Imbalance is Max/Mean; 1.0 is a perfectly even split. The dynamic
+	// scheduler's job is to keep this near 1 despite skewed |Ω(n)[in]|.
+	Imbalance float64
+}
+
+// NewBalance computes balance statistics from per-thread work counts.
+func NewBalance(work []int64) Balance {
+	b := Balance{Threads: len(work)}
+	if len(work) == 0 {
+		return b
+	}
+	var total int64
+	for _, w := range work {
+		total += w
+		if f := float64(w); f > b.Max {
+			b.Max = f
+		}
+	}
+	b.Mean = float64(total) / float64(len(work))
+	if b.Mean > 0 {
+		b.Imbalance = b.Max / b.Mean
+	}
+	return b
+}
+
+// HeapBytes returns the current live heap size, for coarse empirical memory
+// curves alongside the analytic intermediate-data accounting.
+func HeapBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Table accumulates rows and renders a column-aligned plain-text table, the
+// output format of cmd/ptucker-bench.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		_ = i
+		sb.WriteString(strings.Repeat("-", w) + "  ")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

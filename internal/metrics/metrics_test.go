@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewBalance(t *testing.T) {
+	b := NewBalance([]int64{10, 10, 10, 10})
+	if b.Imbalance != 1 {
+		t.Fatalf("even split imbalance = %v want 1", b.Imbalance)
+	}
+	if b.Threads != 4 || b.Mean != 10 || b.Max != 10 {
+		t.Fatalf("balance stats wrong: %+v", b)
+	}
+	b = NewBalance([]int64{30, 10, 10, 10})
+	if b.Imbalance != 2 {
+		t.Fatalf("imbalance = %v want 2 (max 30 / mean 15)", b.Imbalance)
+	}
+	if b = NewBalance(nil); b.Threads != 0 || b.Imbalance != 0 {
+		t.Fatalf("empty balance = %+v", b)
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	if HeapBytes() == 0 {
+		t.Fatal("heap must be non-zero in a running test")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("bb", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Fatalf("row line wrong: %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	off := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][off:], "1.5") || !strings.HasPrefix(lines[3][off:], "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatal("ragged rows must still render")
+	}
+}

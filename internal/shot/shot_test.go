@@ -1,0 +1,127 @@
+package shot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hooi"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func fullLowRank(rng *rand.Rand, dims, ranks []int) *tensor.Coord {
+	factors := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		factors[m] = a
+	}
+	g := tensor.NewDenseTensor(ranks)
+	for i := range g.Data() {
+		g.Data()[i] = rng.NormFloat64()
+	}
+	dense := g.ModeProductChain(factors)
+	out := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	for off, v := range dense.Data() {
+		dense.IndexOf(off, idx)
+		out.MustAppend(idx, v)
+	}
+	return out
+}
+
+func TestSHOTRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := fullLowRank(rng, []int{7, 6, 5}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := m.Trace[len(m.Trace)-1].Fit; fit < 0.999 {
+		t.Fatalf("fit = %v want ≈1 for exact-rank input", fit)
+	}
+}
+
+// S-HOT computes the same mathematical update as HOOI (leading left singular
+// vectors of the same implicit Y(n)), so from identical initializations both
+// must reach the same fit.
+func TestSHOTMatchesHOOIFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := fullLowRank(rng, []int{8, 7, 6}, []int{3, 3, 3})
+	mh, err := hooi.Decompose(x, hooi.Config{Ranks: []int{2, 2, 2}, MaxIters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := mh.Trace[len(mh.Trace)-1].Fit
+	fs := ms.Trace[len(ms.Trace)-1].Fit
+	if math.Abs(fh-fs) > 1e-6 {
+		t.Fatalf("HOOI fit %v vs S-HOT fit %v", fh, fs)
+	}
+}
+
+func TestSHOTFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := fullLowRank(rng, []int{6, 6, 6}, []int{2, 2, 2})
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range m.Factors {
+		if !mat.Gram(a).Equal(mat.Identity(a.Cols()), 1e-8) {
+			t.Fatalf("factor %d not orthonormal", k)
+		}
+	}
+}
+
+// The defining property of S-HOT: it succeeds on dimensionalities where the
+// materialized Y(n) of conventional HOOI blows the memory budget, because it
+// never allocates an In-sized intermediate.
+func TestSHOTAvoidsIntermediateExplosion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dims := []int{200000, 150000, 100000}
+	x := tensor.NewCoord(dims)
+	idx := make([]int, 3)
+	for x.NNZ() < 100 {
+		for k := range idx {
+			idx[k] = rng.Intn(dims[k])
+		}
+		x.MustAppend(idx, rng.Float64())
+	}
+	budget := int64(1 << 20) // 1 MiB: far below the In·K cells of Y(n)
+	if _, err := hooi.Decompose(x, hooi.Config{Ranks: []int{2, 2, 2}, MaxIters: 1, MemoryBudgetBytes: budget}); err == nil {
+		t.Fatal("HOOI should exceed the budget on this shape")
+	}
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("S-HOT must run where HOOI OOMs: %v", err)
+	}
+	if len(m.Trace) != 1 {
+		t.Fatal("expected one completed iteration")
+	}
+}
+
+func TestSHOTValidation(t *testing.T) {
+	x := tensor.NewCoord([]int{4, 4})
+	x.MustAppend([]int{0, 0}, 1)
+	bad := []Config{
+		{Ranks: []int{2}, MaxIters: 1},
+		{Ranks: []int{0, 2}, MaxIters: 1},
+		{Ranks: []int{9, 2}, MaxIters: 1},
+		{Ranks: []int{2, 2}, MaxIters: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Decompose(x, cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := Decompose(tensor.NewCoord([]int{4, 4}), Config{Ranks: []int{2, 2}, MaxIters: 1}); err == nil {
+		t.Fatal("empty tensor must be rejected")
+	}
+}

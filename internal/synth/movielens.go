@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MovieLensConfig sizes the MovieLens-like rating tensor. The real dataset of
+// Table IV is a 4-order (user, movie, year, hour; rating) tensor of shape
+// (138K, 27K, 21, 24) with 20M observations; the default stand-in keeps the
+// same order, mode semantics, and value range at a scale one CPU core can
+// factorize in seconds.
+type MovieLensConfig struct {
+	Users, Movies, Years, Hours int
+	Genres                      int
+	NNZ                         int
+	Noise                       float64
+	Seed                        int64
+}
+
+// DefaultMovieLensConfig returns the reduced-scale stand-in configuration.
+func DefaultMovieLensConfig() MovieLensConfig {
+	return MovieLensConfig{
+		Users: 600, Movies: 240, Years: 21, Hours: 24,
+		Genres: 6, NNZ: 24000, Noise: 0.05, Seed: 1,
+	}
+}
+
+// Relation is a planted association between a genre and preferred slices of
+// the temporal modes, the ground truth behind Table VI's discoveries
+// ("Drama-Hour", "Comedy-Year", "Year-Hour").
+type Relation struct {
+	Genre     int
+	PeakYears []int
+	PeakHours []int
+}
+
+// MovieLensData is a simulated rating tensor with its planted structure.
+type MovieLensData struct {
+	// X is the (user, movie, year, hour) tensor with ratings in [0,1].
+	X *tensor.Coord
+	// MovieGenre assigns every movie its planted genre — the ground truth
+	// for concept discovery (Table V).
+	MovieGenre []int
+	// UserPref assigns every user a preferred genre.
+	UserPref []int
+	// GenreNames provides display names for the planted genres.
+	GenreNames []string
+	// Relations lists the planted (genre, years, hours) preference peaks —
+	// the ground truth for relation discovery (Table VI).
+	Relations []Relation
+}
+
+var genrePool = []string{
+	"Thriller", "Comedy", "Drama", "Action", "Romance",
+	"Sci-Fi", "Horror", "Documentary", "Animation", "Musical",
+}
+
+// MovieLens generates the simulated rating tensor. Ratings follow
+//
+//	r = 0.15 + 0.7·aff(user,genre(movie))·year(genre,y)·hour(genre,h) + noise
+//
+// clamped to [0,1]: users rate movies of their preferred genre highly, and
+// each genre carries a planted (year, hour) preference profile, giving the
+// factorization distinct movie clusters (concepts) and strong core entries
+// linking genre columns to year/hour columns (relations).
+func MovieLens(cfg MovieLensConfig) *MovieLensData {
+	if cfg.Genres < 1 || cfg.Genres > len(genrePool) {
+		panic(fmt.Sprintf("synth: genres must be in [1,%d]", len(genrePool)))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &MovieLensData{
+		X:          tensor.NewCoord([]int{cfg.Users, cfg.Movies, cfg.Years, cfg.Hours}),
+		MovieGenre: make([]int, cfg.Movies),
+		UserPref:   make([]int, cfg.Users),
+		GenreNames: append([]string(nil), genrePool[:cfg.Genres]...),
+	}
+	for m := range d.MovieGenre {
+		d.MovieGenre[m] = m % cfg.Genres // balanced genre assignment
+	}
+	for u := range d.UserPref {
+		d.UserPref[u] = rng.Intn(cfg.Genres)
+	}
+
+	// Plant per-genre year/hour preference profiles: a contiguous block of
+	// years and a set of hours with elevated weight.
+	yearW := make([][]float64, cfg.Genres)
+	hourW := make([][]float64, cfg.Genres)
+	for g := 0; g < cfg.Genres; g++ {
+		yw := make([]float64, cfg.Years)
+		hw := make([]float64, cfg.Hours)
+		for i := range yw {
+			yw[i] = 0.35
+		}
+		for i := range hw {
+			hw[i] = 0.35
+		}
+		rel := Relation{Genre: g}
+		yStart := rng.Intn(cfg.Years - 2)
+		for y := yStart; y < yStart+3 && y < cfg.Years; y++ {
+			yw[y] = 1
+			rel.PeakYears = append(rel.PeakYears, y)
+		}
+		for i := 0; i < 4; i++ {
+			h := rng.Intn(cfg.Hours)
+			if hw[h] == 1 {
+				continue
+			}
+			hw[h] = 1
+			rel.PeakHours = append(rel.PeakHours, h)
+		}
+		yearW[g] = yw
+		hourW[g] = hw
+		d.Relations = append(d.Relations, rel)
+	}
+
+	// Affinity of a user for a genre.
+	aff := func(u, g int) float64 {
+		if d.UserPref[u] == g {
+			return 1
+		}
+		return 0.25
+	}
+
+	idx := make([]int, 4)
+	seen := make(map[string]struct{}, cfg.NNZ)
+	key := make([]byte, 0, 16)
+	for d.X.NNZ() < cfg.NNZ {
+		u := rng.Intn(cfg.Users)
+		m := rng.Intn(cfg.Movies)
+		g := d.MovieGenre[m]
+		// Users mostly rate within their preferred genre; timestamps follow
+		// the genre's planted profile more often than not.
+		if d.UserPref[u] != g && rng.Float64() < 0.5 {
+			continue
+		}
+		var y, h int
+		if rel := d.Relations[g]; len(rel.PeakYears) > 0 && rng.Float64() < 0.6 {
+			y = rel.PeakYears[rng.Intn(len(rel.PeakYears))]
+		} else {
+			y = rng.Intn(cfg.Years)
+		}
+		if rel := d.Relations[g]; len(rel.PeakHours) > 0 && rng.Float64() < 0.6 {
+			h = rel.PeakHours[rng.Intn(len(rel.PeakHours))]
+		} else {
+			h = rng.Intn(cfg.Hours)
+		}
+		idx[0], idx[1], idx[2], idx[3] = u, m, y, h
+		key = key[:0]
+		for _, i := range idx {
+			key = appendInt(key, i)
+		}
+		s := string(key)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		r := 0.15 + 0.7*aff(u, g)*yearW[g][y]*hourW[g][h] + cfg.Noise*rng.NormFloat64()
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		d.X.MustAppend(idx, r)
+	}
+	return d
+}

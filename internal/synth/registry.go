@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Scale selects the size regime of the simulated dataset registry.
+type Scale int
+
+const (
+	// ScaleSmall is the default CI/laptop regime: same orders, mode
+	// semantics, aspect ratios and value range as Table IV, dimensionalities
+	// reduced so every method finishes in seconds on one core.
+	ScaleSmall Scale = iota
+	// ScaleFull approaches the paper's Table IV shapes. Running the full
+	// suite at this scale takes hours and is intended for a real multi-core
+	// host.
+	ScaleFull
+)
+
+// ParseScale converts a CLI string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "small":
+		return ScaleSmall, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("synth: unknown scale %q (want small or full)", s)
+	}
+}
+
+// Dataset is a named simulated stand-in for one of the paper's real-world
+// tensors (Table IV).
+type Dataset struct {
+	// Name matches the paper's dataset naming.
+	Name string
+	// X is the observed tensor, values normalized to [0,1].
+	X *tensor.Coord
+	// Ranks is the core dimensionality used in the paper's experiments for
+	// this dataset (Table IV "Rank" column), one per mode.
+	Ranks []int
+}
+
+// Datasets instantiates the four simulated real-world stand-ins at the given
+// scale with a fixed seed, mirroring Table IV:
+//
+//	Yahoo-music: 4-order (1M, 625K, 133, 24), 252M nnz, rank 10
+//	MovieLens:   4-order (138K, 27K, 21, 24),  20M nnz, rank 10
+//	Video(Wave): 4-order (112, 160, 3, 32),   160K nnz, rank  3
+//	Image(Lena): 3-order (256, 256, 3),        20K nnz, rank  3
+func Datasets(scale Scale, seed int64) []Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		yahooDims []int
+		yahooNNZ  int
+		movieCfg  = DefaultMovieLensConfig()
+		videoDims = []int{112, 160, 3, 32}
+		videoFrac = 0.02
+		imageDims = []int{256, 256, 3}
+		imageFrac = 0.1
+		yahooRank = 4
+		movieRank = 4
+	)
+	switch scale {
+	case ScaleFull:
+		yahooDims = []int{100000, 62500, 133, 24}
+		yahooNNZ = 2_520_000
+		movieCfg.Users, movieCfg.Movies, movieCfg.NNZ = 13800, 2700, 200000
+		videoFrac = 0.1
+		yahooRank, movieRank = 10, 10
+	default:
+		yahooDims = []int{4000, 2500, 50, 24}
+		yahooNNZ = 40000
+	}
+
+	yahoo := PlantedTucker(rng, yahooDims, []int{yahooRank, yahooRank, 3, 3}, yahooNNZ, 0.05)
+	yahoo.Normalize()
+	movieCfg.Seed = seed + 1
+	movie := MovieLens(movieCfg)
+	video := SmoothLowRank(rand.New(rand.NewSource(seed+2)), videoDims, 3, videoFrac)
+	image := SmoothLowRank(rand.New(rand.NewSource(seed+3)), imageDims, 3, imageFrac)
+
+	return []Dataset{
+		{Name: "Yahoo-music(sim)", X: yahoo, Ranks: []int{yahooRank, yahooRank, yahooRank, yahooRank}},
+		{Name: "MovieLens(sim)", X: movie.X, Ranks: []int{movieRank, movieRank, movieRank, movieRank}},
+		{Name: "Video-Wave(sim)", X: video, Ranks: []int{3, 3, 3, 3}},
+		{Name: "Image-Lena(sim)", X: image, Ranks: []int{3, 3, 3}},
+	}
+}

@@ -1,0 +1,159 @@
+// Package synth generates the synthetic and simulated workloads of the
+// evaluation: the uniform random tensors of Section IV-B, planted low-rank
+// Tucker tensors for recovery tests, and reduced-scale stand-ins for the four
+// real-world datasets of Table IV (Yahoo-music, MovieLens, sea-wave video,
+// 'Lena' image), which are not redistributable here. The MovieLens stand-in
+// plants genre clusters and (year, hour) preference relations so the
+// discovery experiments (Tables V and VI) have a checkable ground truth —
+// something the real data cannot provide.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Uniform returns a sparse tensor with nnz distinct random coordinates and
+// values uniform in [0,1), the Section IV-B protocol ("random tensors of
+// size I1=...=IN with real-valued entries between 0 and 1").
+func Uniform(rng *rand.Rand, dims []int, nnz int) *tensor.Coord {
+	t := tensor.NewCoord(dims)
+	cells := tensor.NumCells(dims)
+	if float64(nnz) > cells {
+		panic(fmt.Sprintf("synth: nnz %d exceeds cell count %.0f", nnz, cells))
+	}
+	idx := make([]int, len(dims))
+	// Dense-ish tensors use rejection with a seen-set; very sparse ones
+	// (the common case at scale) collide so rarely the set stays small.
+	seen := make(map[string]struct{}, nnz)
+	key := make([]byte, 0, len(dims)*4)
+	for t.NNZ() < nnz {
+		key = key[:0]
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			key = appendInt(key, idx[k])
+		}
+		s := string(key)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		t.MustAppend(idx, rng.Float64())
+	}
+	return t
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+}
+
+// PlantedTucker samples nnz observed entries from a random Tucker model of
+// the given ranks plus Gaussian noise with the given standard deviation.
+// Such tensors are exactly recoverable by rank-matched sparse factorization,
+// making them the right workload for accuracy experiments.
+func PlantedTucker(rng *rand.Rand, dims, ranks []int, nnz int, noise float64) *tensor.Coord {
+	n := len(dims)
+	factors := make([]*mat.Dense, n)
+	for m := 0; m < n; m++ {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()
+		}
+		factors[m] = a
+	}
+	coreDims := append([]int(nil), ranks...)
+	g := tensor.NewDenseTensor(coreDims)
+	for i := range g.Data() {
+		g.Data()[i] = rng.Float64()
+	}
+
+	t := tensor.NewCoord(dims)
+	idx := make([]int, n)
+	beta := make([]int, n)
+	seen := make(map[string]struct{}, nnz)
+	key := make([]byte, 0, n*4)
+	for t.NNZ() < nnz {
+		key = key[:0]
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			key = appendInt(key, idx[k])
+		}
+		s := string(key)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		// Evaluate the planted model at idx.
+		var v float64
+		for off, gv := range g.Data() {
+			g.IndexOf(off, beta)
+			p := gv
+			for k := 0; k < n; k++ {
+				p *= factors[k].At(idx[k], beta[k])
+			}
+			v += p
+		}
+		t.MustAppend(idx, v+noise*rng.NormFloat64())
+	}
+	return t
+}
+
+// SmoothLowRank returns a sparse sample of a smooth separable signal
+// (products of sinusoids), the stand-in for the video and image tensors of
+// Table IV: natural images/videos are approximately low-rank and smooth, and
+// the paper samples 10% of their cells. sampleFrac is the fraction of cells
+// observed.
+func SmoothLowRank(rng *rand.Rand, dims []int, rank int, sampleFrac float64) *tensor.Coord {
+	n := len(dims)
+	// Random separable components: value = Σ_r ∏_m sin(ω x + φ) rescaled.
+	omega := make([][]float64, rank)
+	phase := make([][]float64, rank)
+	for r := 0; r < rank; r++ {
+		omega[r] = make([]float64, n)
+		phase[r] = make([]float64, n)
+		for m := 0; m < n; m++ {
+			omega[r][m] = (0.5 + rng.Float64()*2) * math.Pi
+			phase[r][m] = rng.Float64() * 2 * math.Pi
+		}
+	}
+	value := func(idx []int) float64 {
+		var v float64
+		for r := 0; r < rank; r++ {
+			p := 1.0
+			for m := 0; m < n; m++ {
+				x := float64(idx[m]) / float64(dims[m])
+				p *= math.Sin(omega[r][m]*x + phase[r][m])
+			}
+			v += p
+		}
+		// Rescale into [0,1] as the paper normalizes its real tensors.
+		return (v/float64(rank) + 1) / 2
+	}
+
+	t := tensor.NewCoord(dims)
+	idx := make([]int, n)
+	target := int(sampleFrac * tensor.NumCells(dims))
+	if target < 1 {
+		target = 1
+	}
+	seen := make(map[string]struct{}, target)
+	key := make([]byte, 0, n*4)
+	for t.NNZ() < target {
+		key = key[:0]
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			key = appendInt(key, idx[k])
+		}
+		s := string(key)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		t.MustAppend(idx, value(idx))
+	}
+	return t
+}

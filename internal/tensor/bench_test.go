@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func benchCoord(b *testing.B, nnz int) *Coord {
+	b.Helper()
+	rng := rand.New(rand.NewSource(55))
+	return randomCoord(rng, []int{2000, 2000, 2000}, nnz)
+}
+
+// BenchmarkModeIndexBuild measures the Ω(n)[in] inverted-index construction,
+// the one-time setup cost of every P-Tucker run.
+func BenchmarkModeIndexBuild(b *testing.B) {
+	x := benchCoord(b, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewModeIndex(x)
+	}
+}
+
+// BenchmarkWrite and BenchmarkRead measure the text IO path used by the
+// published dataset format.
+func BenchmarkWrite(b *testing.B) {
+	x := benchCoord(b, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	x := benchCoord(b, 20000)
+	var buf bytes.Buffer
+	if err := Write(&buf, x); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data), 3, x.Dims()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModeProduct measures the dense n-mode product kernel used by the
+// core rotation (Eq. 8) and the wOpt baseline.
+func BenchmarkModeProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(56))
+	d := NewDenseTensor([]int{40, 40, 40})
+	for i := range d.Data() {
+		d.Data()[i] = rng.Float64()
+	}
+	u := mat.NewDense(10, 40)
+	for i := range u.Data() {
+		u.Data()[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.ModeProduct(1, u)
+	}
+}
+
+// BenchmarkSplit measures the train/test partitioning pass.
+func BenchmarkSplit(b *testing.B) {
+	x := benchCoord(b, 50000)
+	rng := rand.New(rand.NewSource(57))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = x.Split(0.9, rng)
+	}
+}

@@ -1,0 +1,235 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Dense is a dense N-order tensor with little-endian strides: mode 0 varies
+// fastest, matching the paper's matricization mapping (Definition 2), where
+// the column index of X(n) is built from the non-n coordinates with
+// lower-numbered modes varying fastest.
+//
+// Dense tensors appear in two roles in this reproduction: the Tucker core G
+// (small, J1×…×JN) and the intermediates of the baselines that materialize
+// dense data (Tucker-wOpt, naive HOOI), which is exactly what makes those
+// baselines explode in memory.
+type Dense struct {
+	dims    []int
+	strides []int
+	data    []float64
+}
+
+// NewDenseTensor returns a zero dense tensor with the given dimensions.
+func NewDenseTensor(dims []int) *Dense {
+	if len(dims) == 0 {
+		panic("tensor: empty dimension list")
+	}
+	size := 1
+	strides := make([]int, len(dims))
+	for n, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %v", dims))
+		}
+		strides[n] = size
+		size *= d
+	}
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return &Dense{dims: d, strides: strides, data: make([]float64, size)}
+}
+
+// NumCells returns ∏ In for dims without allocating a tensor; used by memory
+// budget checks before attempting a dense materialization.
+func NumCells(dims []int) float64 {
+	cells := 1.0
+	for _, d := range dims {
+		cells *= float64(d)
+	}
+	return cells
+}
+
+// Order returns the number of modes.
+func (d *Dense) Order() int { return len(d.dims) }
+
+// Dims returns the mode dimensions. The slice must not be modified.
+func (d *Dense) Dims() []int { return d.dims }
+
+// Dim returns the length of mode n.
+func (d *Dense) Dim(n int) int { return d.dims[n] }
+
+// Size returns the total number of cells.
+func (d *Dense) Size() int { return len(d.data) }
+
+// Data returns the backing slice in stride order (mode 0 fastest).
+func (d *Dense) Data() []float64 { return d.data }
+
+// Offset converts a multi-index to a flat offset.
+func (d *Dense) Offset(idx []int) int {
+	off := 0
+	for n, i := range idx {
+		off += i * d.strides[n]
+	}
+	return off
+}
+
+// IndexOf converts a flat offset back to a multi-index, filling idx.
+func (d *Dense) IndexOf(off int, idx []int) {
+	for n := 0; n < len(d.dims); n++ {
+		idx[n] = off % d.dims[n]
+		off /= d.dims[n]
+	}
+}
+
+// At returns the value at multi-index idx.
+func (d *Dense) At(idx []int) float64 { return d.data[d.Offset(idx)] }
+
+// Set assigns the value at multi-index idx.
+func (d *Dense) Set(idx []int, v float64) { d.data[d.Offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDenseTensor(d.dims)
+	copy(c.data, d.data)
+	return c
+}
+
+// Zero clears all cells.
+func (d *Dense) Zero() {
+	for i := range d.data {
+		d.data[i] = 0
+	}
+}
+
+// Norm returns the Frobenius norm over all cells (Definition 1).
+func (d *Dense) Norm() float64 {
+	var s float64
+	for _, v := range d.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Matricize returns the mode-n unfolding X(n), an In x ∏_{m≠n} Im matrix
+// following the paper's Definition 2 column ordering (0-based: the column of
+// cell (i1,…,iN) is Σ_{k≠n} ik · ∏_{m<k, m≠n} Im).
+func (d *Dense) Matricize(n int) *mat.Dense {
+	rows := d.dims[n]
+	cols := len(d.data) / rows
+	out := mat.NewDense(rows, cols)
+	idx := make([]int, len(d.dims))
+	for off, v := range d.data {
+		d.IndexOf(off, idx)
+		col := 0
+		stride := 1
+		for k := 0; k < len(d.dims); k++ {
+			if k == n {
+				continue
+			}
+			col += idx[k] * stride
+			stride *= d.dims[k]
+		}
+		out.Set(idx[n], col, v)
+	}
+	return out
+}
+
+// FromMatricized overwrites d's cells from the mode-n unfolding m, the
+// inverse of Matricize.
+func (d *Dense) FromMatricized(n int, m *mat.Dense) {
+	idx := make([]int, len(d.dims))
+	for off := range d.data {
+		d.IndexOf(off, idx)
+		col := 0
+		stride := 1
+		for k := 0; k < len(d.dims); k++ {
+			if k == n {
+				continue
+			}
+			col += idx[k] * stride
+			stride *= d.dims[k]
+		}
+		d.data[off] = m.At(idx[n], col)
+	}
+}
+
+// ModeProduct computes the n-mode product Y = d ×n U (Definition 3) where U
+// is Jn x In with In = d.Dim(n). The result has mode n of length Jn.
+func (d *Dense) ModeProduct(n int, u *mat.Dense) *Dense {
+	if u.Cols() != d.dims[n] {
+		panic(fmt.Sprintf("tensor: mode-%d product needs %d columns, got %d", n, d.dims[n], u.Cols()))
+	}
+	outDims := make([]int, len(d.dims))
+	copy(outDims, d.dims)
+	outDims[n] = u.Rows()
+	out := NewDenseTensor(outDims)
+
+	// Iterate source cells, scattering into the output: for each source cell
+	// with coordinate in on mode n, add value * U[jn][in] to every output jn.
+	idx := make([]int, len(d.dims))
+	for off, v := range d.data {
+		if v == 0 {
+			continue
+		}
+		d.IndexOf(off, idx)
+		in := idx[n]
+		// Base offset of the output cell with jn = 0.
+		base := 0
+		for k, i := range idx {
+			if k == n {
+				continue
+			}
+			base += i * out.strides[k]
+		}
+		stride := out.strides[n]
+		for jn := 0; jn < u.Rows(); jn++ {
+			out.data[base+jn*stride] += v * u.At(jn, in)
+		}
+	}
+	return out
+}
+
+// ModeProductChain applies d ×1 U[0] ×2 U[1] … skipping nil entries; used for
+// the TTMc chains of the HOOI family and for the core update G ← G ×n R(n).
+func (d *Dense) ModeProductChain(us []*mat.Dense) *Dense {
+	cur := d
+	for n, u := range us {
+		if u == nil {
+			continue
+		}
+		cur = cur.ModeProduct(n, u)
+	}
+	return cur
+}
+
+// EachNonZero calls fn for every cell with a non-zero value, passing the
+// multi-index (valid only during the call) and the value.
+func (d *Dense) EachNonZero(fn func(idx []int, v float64)) {
+	idx := make([]int, len(d.dims))
+	for off, v := range d.data {
+		if v == 0 {
+			continue
+		}
+		d.IndexOf(off, idx)
+		fn(idx, v)
+	}
+}
+
+// ToCoord converts the dense tensor to sparse COO form, keeping cells with
+// |value| > tol.
+func (d *Dense) ToCoord(tol float64) *Coord {
+	t := NewCoord(d.dims)
+	d.EachNonZero(func(idx []int, v float64) {
+		if math.Abs(v) > tol {
+			t.MustAppend(idx, v)
+		}
+	})
+	return t
+}
+
+// String summarizes the tensor.
+func (d *Dense) String() string {
+	return fmt.Sprintf("Dense(order=%d dims=%v)", d.Order(), d.dims)
+}

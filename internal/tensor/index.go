@@ -1,0 +1,91 @@
+package tensor
+
+// ModeIndex is the per-mode inverted index over a sparse tensor's entries: for
+// mode n and slice index in, it enumerates Ω(n)[in] — the observed entries
+// whose n-th coordinate equals in (Table II of the paper). P-Tucker's
+// row-wise update visits exactly these sets, and the index is also what makes
+// the workload of each factor row measurable for the dynamic scheduler
+// (|Ω(n)[in]| varies per row; Section III-D).
+//
+// The index is a CSR-like layout per mode: entry ids sorted by their mode-n
+// coordinate, with prefix offsets per coordinate value.
+type ModeIndex struct {
+	order   int
+	offsets [][]int // offsets[n] has len Dim(n)+1
+	entries [][]int // entries[n] is a permutation of entry ids grouped by coordinate
+}
+
+// NewModeIndex builds the inverted index for every mode of t in O(N·(I+|Ω|)).
+func NewModeIndex(t *Coord) *ModeIndex {
+	n := t.Order()
+	mi := &ModeIndex{
+		order:   n,
+		offsets: make([][]int, n),
+		entries: make([][]int, n),
+	}
+	nnz := t.NNZ()
+	for mode := 0; mode < n; mode++ {
+		dim := t.Dim(mode)
+		counts := make([]int, dim+1)
+		for e := 0; e < nnz; e++ {
+			counts[t.indices[e*n+mode]+1]++
+		}
+		for i := 0; i < dim; i++ {
+			counts[i+1] += counts[i]
+		}
+		perm := make([]int, nnz)
+		cursor := make([]int, dim)
+		copy(cursor, counts[:dim])
+		for e := 0; e < nnz; e++ {
+			i := t.indices[e*n+mode]
+			perm[cursor[i]] = e
+			cursor[i]++
+		}
+		mi.offsets[mode] = counts
+		mi.entries[mode] = perm
+	}
+	return mi
+}
+
+// Slice returns the entry ids of Ω(n)[in] as a shared sub-slice; callers must
+// not modify it.
+func (mi *ModeIndex) Slice(mode, in int) []int {
+	off := mi.offsets[mode]
+	return mi.entries[mode][off[in]:off[in+1]]
+}
+
+// Count returns |Ω(n)[in]|, the number of observed entries in slice in of
+// mode n.
+func (mi *ModeIndex) Count(mode, in int) int {
+	off := mi.offsets[mode]
+	return off[in+1] - off[in]
+}
+
+// NonEmptyRows returns the indices in of mode n with at least one observed
+// entry. Rows with no observations have no update equations (their B matrix
+// is λI and c is zero, so the regularized update would zero them); P-Tucker
+// skips them.
+func (mi *ModeIndex) NonEmptyRows(mode int) []int {
+	off := mi.offsets[mode]
+	var rows []int
+	for i := 0; i+1 < len(off); i++ {
+		if off[i+1] > off[i] {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// MaxRowLoad returns the largest |Ω(n)[in]| over all rows of mode n; the
+// ratio of MaxRowLoad to the mean load measures the imbalance that dynamic
+// scheduling corrects (Section IV-D).
+func (mi *ModeIndex) MaxRowLoad(mode int) int {
+	off := mi.offsets[mode]
+	mx := 0
+	for i := 0; i+1 < len(off); i++ {
+		if l := off[i+1] - off[i]; l > mx {
+			mx = l
+		}
+	}
+	return mx
+}

@@ -1,0 +1,616 @@
+package tensor
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func mustCoord(t *testing.T, dims []int, entries [][]int, vals []float64) *Coord {
+	t.Helper()
+	c := NewCoord(dims)
+	for i, idx := range entries {
+		if err := c.Append(idx, vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func randomCoord(rng *rand.Rand, dims []int, nnz int) *Coord {
+	c := NewCoord(dims)
+	idx := make([]int, len(dims))
+	seen := make(map[string]bool)
+	for c.NNZ() < nnz {
+		key := ""
+		for n, d := range dims {
+			idx[n] = rng.Intn(d)
+			key += string(rune(idx[n])) + ","
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		c.MustAppend(idx, rng.Float64())
+	}
+	return c
+}
+
+func TestCoordBasics(t *testing.T) {
+	c := mustCoord(t, []int{3, 4, 5},
+		[][]int{{0, 0, 0}, {2, 3, 4}, {1, 2, 3}},
+		[]float64{1, 2, 3})
+	if c.Order() != 3 {
+		t.Fatalf("Order = %d want 3", c.Order())
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("NNZ = %d want 3", c.NNZ())
+	}
+	if got := c.Index(1); got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Index(1) = %v", got)
+	}
+	if c.Value(2) != 3 {
+		t.Fatalf("Value(2) = %v want 3", c.Value(2))
+	}
+	c.SetValue(2, 7)
+	if c.Value(2) != 7 {
+		t.Fatalf("SetValue failed")
+	}
+	if c.Dim(1) != 4 {
+		t.Fatalf("Dim(1) = %d want 4", c.Dim(1))
+	}
+}
+
+func TestCoordAppendValidation(t *testing.T) {
+	c := NewCoord([]int{2, 2})
+	if err := c.Append([]int{0, 2}, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := c.Append([]int{0}, 1); err == nil {
+		t.Fatal("expected order-mismatch error")
+	}
+	if err := c.Append([]int{-1, 0}, 1); err == nil {
+		t.Fatal("expected negative-index error")
+	}
+}
+
+func TestNewCoordPanics(t *testing.T) {
+	for _, dims := range [][]int{{}, {0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for dims %v", dims)
+				}
+			}()
+			NewCoord(dims)
+		}()
+	}
+}
+
+func TestCoordNorm(t *testing.T) {
+	c := mustCoord(t, []int{2, 2}, [][]int{{0, 0}, {1, 1}}, []float64{3, 4})
+	if got := c.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %v want 5", got)
+	}
+}
+
+func TestCoordNormalize(t *testing.T) {
+	c := mustCoord(t, []int{3, 1}, [][]int{{0, 0}, {1, 0}, {2, 0}}, []float64{2, 6, 4})
+	c.Normalize()
+	want := []float64{0, 1, 0.5}
+	for i, w := range want {
+		if math.Abs(c.Value(i)-w) > 1e-12 {
+			t.Fatalf("Normalize[%d] = %v want %v", i, c.Value(i), w)
+		}
+	}
+	// Constant tensor maps to zero.
+	k := mustCoord(t, []int{2, 1}, [][]int{{0, 0}, {1, 0}}, []float64{5, 5})
+	k.Normalize()
+	if k.Value(0) != 0 || k.Value(1) != 0 {
+		t.Fatal("constant tensor should normalize to zeros")
+	}
+	// Empty tensor is a no-op.
+	e := NewCoord([]int{2, 2})
+	e.Normalize()
+}
+
+func TestCoordMinMaxDensity(t *testing.T) {
+	c := mustCoord(t, []int{2, 5}, [][]int{{0, 0}, {1, 4}}, []float64{-3, 9})
+	if c.MinValue() != -3 || c.MaxValue() != 9 {
+		t.Fatalf("min/max = %v/%v", c.MinValue(), c.MaxValue())
+	}
+	if got := c.Density(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Density = %v want 0.2", got)
+	}
+}
+
+func TestCoordCloneIndependence(t *testing.T) {
+	c := mustCoord(t, []int{2, 2}, [][]int{{0, 1}}, []float64{1})
+	d := c.Clone()
+	d.SetValue(0, 42)
+	if c.Value(0) != 1 {
+		t.Fatal("Clone shares value storage")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCoord(rng, []int{10, 10, 10}, 200)
+	train, test := c.Split(0.9, rng)
+	if train.NNZ()+test.NNZ() != c.NNZ() {
+		t.Fatalf("split loses entries: %d + %d != %d", train.NNZ(), test.NNZ(), c.NNZ())
+	}
+	if train.NNZ() != 180 {
+		t.Fatalf("train size = %d want 180", train.NNZ())
+	}
+	// The union of values must be preserved (as multisets of values).
+	sum := func(t *Coord) float64 {
+		var s float64
+		for _, v := range t.Values() {
+			s += v
+		}
+		return s
+	}
+	if math.Abs(sum(train)+sum(test)-sum(c)) > 1e-9 {
+		t.Fatal("split changes the multiset of values")
+	}
+}
+
+func TestSplitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomCoord(rng, []int{5, 5}, 10)
+	train, test := c.Split(1.0, rng)
+	if train.NNZ() != 10 || test.NNZ() != 0 {
+		t.Fatalf("full train split failed: %d/%d", train.NNZ(), test.NNZ())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range fraction")
+		}
+	}()
+	c.Split(1.5, rng)
+}
+
+func TestModeIndexEnumeratesAllEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomCoord(rng, []int{6, 7, 8}, 100)
+	mi := NewModeIndex(c)
+	for mode := 0; mode < 3; mode++ {
+		seen := make([]bool, c.NNZ())
+		total := 0
+		for in := 0; in < c.Dim(mode); in++ {
+			for _, e := range mi.Slice(mode, in) {
+				if c.Index(e)[mode] != in {
+					t.Fatalf("mode %d slice %d contains entry with coordinate %d", mode, in, c.Index(e)[mode])
+				}
+				if seen[e] {
+					t.Fatalf("entry %d listed twice", e)
+				}
+				seen[e] = true
+				total++
+			}
+			if mi.Count(mode, in) != len(mi.Slice(mode, in)) {
+				t.Fatal("Count disagrees with Slice length")
+			}
+		}
+		if total != c.NNZ() {
+			t.Fatalf("mode %d: indexed %d of %d entries", mode, total, c.NNZ())
+		}
+	}
+}
+
+func TestModeIndexNonEmptyRows(t *testing.T) {
+	c := mustCoord(t, []int{4, 2}, [][]int{{0, 0}, {0, 1}, {3, 0}}, []float64{1, 2, 3})
+	mi := NewModeIndex(c)
+	rows := mi.NonEmptyRows(0)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 3 {
+		t.Fatalf("NonEmptyRows = %v want [0 3]", rows)
+	}
+	if mi.MaxRowLoad(0) != 2 {
+		t.Fatalf("MaxRowLoad = %d want 2", mi.MaxRowLoad(0))
+	}
+}
+
+func TestDenseOffsetsRoundTrip(t *testing.T) {
+	d := NewDenseTensor([]int{3, 4, 5})
+	idx := make([]int, 3)
+	for off := 0; off < d.Size(); off++ {
+		d.IndexOf(off, idx)
+		if d.Offset(idx) != off {
+			t.Fatalf("offset %d round-trips to %d via %v", off, d.Offset(idx), idx)
+		}
+	}
+}
+
+func TestDenseAtSet(t *testing.T) {
+	d := NewDenseTensor([]int{2, 3})
+	d.Set([]int{1, 2}, 5)
+	if d.At([]int{1, 2}) != 5 {
+		t.Fatal("At/Set round trip failed")
+	}
+	if d.Size() != 6 {
+		t.Fatalf("Size = %d want 6", d.Size())
+	}
+}
+
+func TestDenseNorm(t *testing.T) {
+	d := NewDenseTensor([]int{2, 2})
+	d.Set([]int{0, 0}, 3)
+	d.Set([]int{1, 1}, 4)
+	if got := d.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %v want 5", got)
+	}
+}
+
+func TestMatricizeKnown(t *testing.T) {
+	// 2x3 "tensor" (matrix): matricization along mode 0 must equal itself.
+	d := NewDenseTensor([]int{2, 3})
+	v := 1.0
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 2; i++ {
+			d.Set([]int{i, j}, v)
+			v++
+		}
+	}
+	m0 := d.Matricize(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m0.At(i, j) != d.At([]int{i, j}) {
+				t.Fatalf("mode-0 matricization mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Mode-1 matricization is the transpose for order 2.
+	m1 := d.Matricize(1)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m1.At(j, i) != d.At([]int{i, j}) {
+				t.Fatalf("mode-1 matricization mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatricizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDenseTensor([]int{3, 4, 2})
+	for i := range d.Data() {
+		d.Data()[i] = rng.Float64()
+	}
+	for n := 0; n < 3; n++ {
+		m := d.Matricize(n)
+		back := NewDenseTensor([]int{3, 4, 2})
+		back.FromMatricized(n, m)
+		for i := range d.Data() {
+			if math.Abs(back.Data()[i]-d.Data()[i]) > 1e-12 {
+				t.Fatalf("mode %d matricize round trip failed", n)
+			}
+		}
+	}
+}
+
+// The defining identity of matricization and the n-mode product:
+// Y = X ×n U  ⇔  Y(n) = U · X(n).
+func TestModeProductMatchesMatricization(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDenseTensor([]int{3, 4, 2})
+	for i := range d.Data() {
+		d.Data()[i] = rng.Float64()*2 - 1
+	}
+	for n := 0; n < 3; n++ {
+		u := mat.NewDense(5, d.Dim(n))
+		for i := 0; i < 5; i++ {
+			for j := 0; j < d.Dim(n); j++ {
+				u.Set(i, j, rng.Float64()*2-1)
+			}
+		}
+		y := d.ModeProduct(n, u)
+		if y.Dim(n) != 5 {
+			t.Fatalf("mode %d product output dim = %d want 5", n, y.Dim(n))
+		}
+		got := y.Matricize(n)
+		want := mat.Mul(u, d.Matricize(n))
+		if !got.Equal(want, 1e-10) {
+			t.Fatalf("mode %d: Y(n) != U·X(n)", n)
+		}
+	}
+}
+
+func TestModeProductChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDenseTensor([]int{2, 3, 4})
+	for i := range d.Data() {
+		d.Data()[i] = rng.Float64()
+	}
+	u0 := mat.Identity(2)
+	u2 := mat.NewDense(2, 4)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			u2.Set(i, j, rng.Float64())
+		}
+	}
+	// Chain with nil for mode 1 must equal applying modes 0 and 2 separately.
+	got := d.ModeProductChain([]*mat.Dense{u0, nil, u2})
+	want := d.ModeProduct(0, u0).ModeProduct(2, u2)
+	for i := range want.Data() {
+		if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-12 {
+			t.Fatal("ModeProductChain mismatch")
+		}
+	}
+}
+
+func TestModeProductShapePanic(t *testing.T) {
+	d := NewDenseTensor([]int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong U shape")
+		}
+	}()
+	d.ModeProduct(0, mat.NewDense(3, 5))
+}
+
+// Property: mode products along different modes commute.
+func TestModeProductCommutativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := []int{1 + r.Intn(4), 1 + r.Intn(4), 1 + r.Intn(4)}
+		d := NewDenseTensor(dims)
+		for i := range d.Data() {
+			d.Data()[i] = r.Float64()*2 - 1
+		}
+		u0 := mat.NewDense(1+r.Intn(3), dims[0])
+		for i := range u0.Data() {
+			u0.Data()[i] = r.Float64()*2 - 1
+		}
+		u2 := mat.NewDense(1+r.Intn(3), dims[2])
+		for i := range u2.Data() {
+			u2.Data()[i] = r.Float64()*2 - 1
+		}
+		a := d.ModeProduct(0, u0).ModeProduct(2, u2)
+		b := d.ModeProduct(2, u2).ModeProduct(0, u0)
+		for i := range a.Data() {
+			if math.Abs(a.Data()[i]-b.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachNonZeroAndToCoord(t *testing.T) {
+	d := NewDenseTensor([]int{2, 2})
+	d.Set([]int{0, 1}, 2)
+	d.Set([]int{1, 0}, 1e-15)
+	count := 0
+	d.EachNonZero(func(idx []int, v float64) { count++ })
+	if count != 2 {
+		t.Fatalf("EachNonZero visited %d cells want 2", count)
+	}
+	c := d.ToCoord(1e-12)
+	if c.NNZ() != 1 {
+		t.Fatalf("ToCoord kept %d entries want 1 (tolerance filter)", c.NNZ())
+	}
+	if got := c.Index(0); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ToCoord index = %v", got)
+	}
+}
+
+func TestNumCells(t *testing.T) {
+	if NumCells([]int{10, 10, 10}) != 1000 {
+		t.Fatal("NumCells wrong")
+	}
+	// Must not overflow for paper-scale shapes.
+	big := NumCells([]int{10000000, 10000000, 10000000})
+	if big != 1e21 {
+		t.Fatalf("NumCells big = %v want 1e21", big)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCoord(rng, []int{5, 6, 7}, 40)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, 3, c.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != c.NNZ() {
+		t.Fatalf("round trip nnz %d want %d", got.NNZ(), c.NNZ())
+	}
+	for e := 0; e < c.NNZ(); e++ {
+		gi, ci := got.Index(e), c.Index(e)
+		for k := range ci {
+			if gi[k] != ci[k] {
+				t.Fatalf("entry %d index mismatch %v vs %v", e, gi, ci)
+			}
+		}
+		if math.Abs(got.Value(e)-c.Value(e)) > 1e-9 {
+			t.Fatalf("entry %d value mismatch", e)
+		}
+	}
+}
+
+func TestReadInfersDims(t *testing.T) {
+	in := "1 1 1 0.5\n3 2 4 1.25\n"
+	c, err := Read(strings.NewReader(in), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 2, 4}
+	for k, d := range want {
+		if c.Dim(k) != d {
+			t.Fatalf("inferred dims %v want %v", c.Dims(), want)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 1 2.0\n  \n# tail\n2 2 3.0\n"
+	c, err := Read(strings.NewReader(in), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d want 2", c.NNZ())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		order    int
+		dims     []int
+	}{
+		{"wrong field count", "1 2 3\n", 3, nil},
+		{"bad index", "x 1 1 1\n", 3, nil},
+		{"zero index", "0 1 1 1\n", 3, nil},
+		{"bad value", "1 1 1 z\n", 3, nil},
+		{"out of dims", "5 1 1 1\n", 3, []int{2, 2, 2}},
+		{"dims length mismatch", "1 1 1 1\n", 3, []int{2, 2}},
+		{"bad order", "", 0, nil},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in), tc.order, tc.dims); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomCoord(rng, []int{4, 4}, 8)
+	path := t.TempDir() + "/tensor.tns"
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != c.NNZ() {
+		t.Fatalf("file round trip nnz %d want %d", got.NNZ(), c.NNZ())
+	}
+	if _, err := ReadFile(path+".missing", 2, nil); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// failingWriter injects a write error after a budget of bytes, exercising
+// the IO error paths.
+type failingWriter struct{ budget int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errWriteInjected
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+	}
+	f.budget -= n
+	if n < len(p) {
+		return n, errWriteInjected
+	}
+	return n, nil
+}
+
+var errWriteInjected = errors.New("injected write failure")
+
+func TestWriteFailureInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	c := randomCoord(rng, []int{50, 50}, 200)
+	for _, budget := range []int{0, 1, 10, 100} {
+		if err := Write(&failingWriter{budget: budget}, c); !errors.Is(err, errWriteInjected) {
+			t.Fatalf("budget %d: err = %v want injected failure", budget, err)
+		}
+	}
+}
+
+func TestWriteFileToBadPath(t *testing.T) {
+	c := NewCoord([]int{2, 2})
+	c.MustAppend([]int{0, 0}, 1)
+	if err := WriteFile("/nonexistent-dir/sub/x.tns", c); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
+
+// Property: IO round trip preserves any random tensor exactly enough.
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(8), 2 + rng.Intn(8), 2 + rng.Intn(8)}
+		nnz := 1 + rng.Intn(20)
+		if cells := dims[0] * dims[1] * dims[2]; nnz > cells/2 {
+			nnz = cells / 2
+		}
+		if nnz < 1 {
+			nnz = 1
+		}
+		c := randomCoord(rng, dims, nnz)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return false
+		}
+		got, err := Read(&buf, 3, c.Dims())
+		if err != nil || got.NNZ() != c.NNZ() {
+			return false
+		}
+		for e := 0; e < c.NNZ(); e++ {
+			gi, ci := got.Index(e), c.Index(e)
+			for k := range ci {
+				if gi[k] != ci[k] {
+					return false
+				}
+			}
+			if math.Abs(got.Value(e)-c.Value(e)) > 1e-9*(1+math.Abs(c.Value(e))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ModeIndex slices partition the entry set for random tensors.
+func TestModeIndexPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1 + rng.Intn(10), 1 + rng.Intn(10)}
+		nnz := 1 + rng.Intn(30)
+		if cells := dims[0] * dims[1]; nnz > cells/2 {
+			nnz = cells / 2
+		}
+		if nnz < 1 {
+			nnz = 1
+		}
+		c := randomCoord(rng, dims, nnz)
+		mi := NewModeIndex(c)
+		for mode := 0; mode < 2; mode++ {
+			total := 0
+			for in := 0; in < c.Dim(mode); in++ {
+				total += mi.Count(mode, in)
+			}
+			if total != c.NNZ() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

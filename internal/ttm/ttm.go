@@ -1,0 +1,256 @@
+// Package ttm holds the kernels shared by the zero-filling Tucker baselines
+// (conventional HOOI, S-HOT, and Tucker-CSF): sparse tensor-times-matrix
+// chains (TTMc), Kronecker row expansion, dense-core extraction, a common
+// result model, and the explicit memory budget that reproduces the paper's
+// O.O.M. outcomes deterministically.
+//
+// All of these methods treat unobserved cells as zeros (the paper's central
+// criticism), so a sparse input tensor is algebraically a dense tensor with
+// zeros, and every kernel here iterates only over the stored nonzeros.
+package ttm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// ErrOutOfMemory reports that a dense intermediate would exceed the
+// configured memory budget. The paper's Figures 6, 7, and 11 mark these
+// configurations "O.O.M."; the budget makes the same analytic condition
+// (e.g. In·∏Jm cells for HOOI's Y(n)) observable without exhausting the
+// host.
+var ErrOutOfMemory = errors.New("ttm: intermediate data exceeds memory budget (O.O.M.)")
+
+// DefaultBudgetBytes bounds dense intermediates when a caller passes no
+// explicit budget: 1 GiB, a laptop-friendly stand-in for the paper's 512 GB
+// testbed.
+const DefaultBudgetBytes = int64(1) << 30
+
+// CheckBudget returns ErrOutOfMemory when `cells` float64 values would
+// overflow the budget (in bytes). A budget of 0 means DefaultBudgetBytes; a
+// negative budget disables the check.
+func CheckBudget(cells float64, budget int64) error {
+	if budget < 0 {
+		return nil
+	}
+	if budget == 0 {
+		budget = DefaultBudgetBytes
+	}
+	if cells*8 > float64(budget) {
+		return fmt.Errorf("%w: need %.3g bytes, budget %d", ErrOutOfMemory, cells*8, budget)
+	}
+	return nil
+}
+
+// ColStrides returns the column strides of the mode-n matricization for the
+// given per-mode widths (Definition 2's mapping): column = Σ_{m≠n} j_m ·
+// stride[m], with stride over lower modes excluding n. stride[n] is 0.
+func ColStrides(widths []int, n int) []int {
+	strides := make([]int, len(widths))
+	s := 1
+	for m := 0; m < len(widths); m++ {
+		if m == n {
+			continue
+		}
+		strides[m] = s
+		s *= widths[m]
+	}
+	return strides
+}
+
+// ExpandRow accumulates the Kronecker expansion of one nonzero into a
+// length-K buffer, where K = ∏_{m≠exclude} Jm: buf[col] += v ·
+// ∏_{m≠exclude} A(m)[idx[m]][j_m], with col = Σ_{m≠exclude} j_m·stride_m in
+// the little-endian (mode 0 fastest) layout of ColStrides and tensor.Dense.
+// Pass exclude = -1 to include every mode (used for core extraction).
+// scratch must have capacity ≥ K; the expansion runs in O(K) by building
+// partial products one mode at a time, highest mode first so that mode 0
+// ends up varying fastest.
+func ExpandRow(buf []float64, factors []*mat.Dense, idx []int, exclude int, v float64, scratch []float64) {
+	cur := scratch[:1]
+	cur[0] = v
+	size := 1
+	for m := len(factors) - 1; m >= 0; m-- {
+		if m == exclude {
+			continue
+		}
+		row := factors[m].Row(idx[m])
+		j := len(row)
+		// Expand in place from the back so cur can grow within scratch.
+		next := scratch[:size*j]
+		for q := size - 1; q >= 0; q-- {
+			base := cur[q]
+			off := q * j
+			for jj := j - 1; jj >= 0; jj-- {
+				next[off+jj] = base * row[jj]
+			}
+		}
+		cur = next
+		size *= j
+	}
+	for i := 0; i < size; i++ {
+		buf[i] += cur[i]
+	}
+}
+
+// KronWidth returns ∏_{m≠exclude} Jm for factors with Jm columns.
+func KronWidth(factors []*mat.Dense, exclude int) int {
+	k := 1
+	for m, a := range factors {
+		if m == exclude {
+			continue
+		}
+		k *= a.Cols()
+	}
+	return k
+}
+
+// MaterializeY computes the mode-n matricized TTMc result
+// Y(n) = (X ×_{m≠n} A(m)ᵀ)(n), an In × K dense matrix (K = ∏_{m≠n} Jm),
+// iterating only over the stored nonzeros. This is the intermediate whose
+// explicit storage causes the "intermediate data explosion": the call fails
+// with ErrOutOfMemory when In·K exceeds the budget.
+func MaterializeY(x *tensor.Coord, factors []*mat.Dense, n int, budget int64) (*mat.Dense, error) {
+	k := KronWidth(factors, n)
+	rows := x.Dim(n)
+	if err := CheckBudget(float64(rows)*float64(k), budget); err != nil {
+		return nil, err
+	}
+	y := mat.NewDense(rows, k)
+	scratch := make([]float64, k)
+	for e := 0; e < x.NNZ(); e++ {
+		idx := x.Index(e)
+		ExpandRow(y.Row(idx[n]), factors, idx, n, x.Value(e), scratch)
+	}
+	return y, nil
+}
+
+// DenseCore computes G = X ×1 A(1)ᵀ ··· ×N A(N)ᵀ for orthonormal factors
+// (Algorithm 1 line 7), iterating only over nonzeros.
+func DenseCore(x *tensor.Coord, factors []*mat.Dense) *tensor.Dense {
+	ranks := make([]int, len(factors))
+	for m, a := range factors {
+		ranks[m] = a.Cols()
+	}
+	g := tensor.NewDenseTensor(ranks)
+	k := KronWidth(factors, -1)
+	scratch := make([]float64, k)
+	// The little-endian enumeration of ExpandRow matches Dense's strides.
+	for e := 0; e < x.NNZ(); e++ {
+		ExpandRow(g.Data(), factors, x.Index(e), -1, x.Value(e), scratch)
+	}
+	return g
+}
+
+// RandomOrthonormalFactors initializes one In × Jn factor per mode with
+// orthonormal columns (random Gaussian then Gram-Schmidt), the customary
+// HOOI starting point.
+func RandomOrthonormalFactors(dims, ranks []int, rng interface{ NormFloat64() float64 }) []*mat.Dense {
+	factors := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		mat.GramSchmidt(a)
+		factors[m] = a
+	}
+	return factors
+}
+
+// IterStats records one baseline iteration.
+type IterStats struct {
+	Iter    int
+	Fit     float64 // 1 - ||X − X̂||/||X|| over all cells (zero-fill objective)
+	Elapsed time.Duration
+}
+
+// Model is the common result of the zero-filling baselines: orthonormal
+// factors and a dense core.
+type Model struct {
+	Method  string
+	Factors []*mat.Dense
+	Core    *tensor.Dense
+	Trace   []IterStats
+}
+
+// Predict evaluates the reconstruction Σ_β Gβ ∏_n A(n)[in][jn] at idx.
+func (m *Model) Predict(idx []int) float64 {
+	k := KronWidth(m.Factors, -1)
+	scratch := make([]float64, k)
+	buf := make([]float64, k)
+	ExpandRow(buf, m.Factors, idx, -1, 1, scratch)
+	var s float64
+	g := m.Core.Data()
+	for i, w := range buf {
+		s += w * g[i]
+	}
+	return s
+}
+
+// ReconstructionError evaluates Eq. (5) — the error over the *observed*
+// entries Ω — which is how Figure 11 scores every method, including the
+// zero-filling ones.
+func (m *Model) ReconstructionError(x *tensor.Coord) float64 {
+	k := KronWidth(m.Factors, -1)
+	scratch := make([]float64, k)
+	buf := make([]float64, k)
+	g := m.Core.Data()
+	var ss float64
+	for e := 0; e < x.NNZ(); e++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		ExpandRow(buf, m.Factors, x.Index(e), -1, 1, scratch)
+		var pred float64
+		for i, w := range buf {
+			pred += w * g[i]
+		}
+		r := x.Value(e) - pred
+		ss += r * r
+	}
+	return math.Sqrt(ss)
+}
+
+// RMSE returns the root mean square prediction error over the observed
+// entries of test.
+func (m *Model) RMSE(test *tensor.Coord) float64 {
+	if test.NNZ() == 0 {
+		return 0
+	}
+	return m.ReconstructionError(test) / math.Sqrt(float64(test.NNZ()))
+}
+
+// ZeroFillFit returns 1 − sqrt(||X||² − ||G||²)/||X||, the fit of the
+// orthogonal Tucker approximation measured over ALL cells with missing
+// entries treated as zeros — the objective the baselines actually optimize
+// (Eq. 3). It follows from orthonormality of the factors.
+func (m *Model) ZeroFillFit(x *tensor.Coord) float64 {
+	xn := x.Norm()
+	if xn == 0 {
+		return 1
+	}
+	gn := m.Core.Norm()
+	diff := xn*xn - gn*gn
+	if diff < 0 {
+		diff = 0
+	}
+	return 1 - math.Sqrt(diff)/xn
+}
+
+// TimePerIteration returns the mean wall-clock duration per iteration.
+func (m *Model) TimePerIteration() time.Duration {
+	if len(m.Trace) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, it := range m.Trace {
+		total += it.Elapsed
+	}
+	return total / time.Duration(len(m.Trace))
+}

@@ -1,0 +1,269 @@
+package ttm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func randomSparse(rng *rand.Rand, dims []int, nnz int) *tensor.Coord {
+	t := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	seen := make(map[int]bool)
+	for t.NNZ() < nnz {
+		flat, stride := 0, 1
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			flat += idx[k] * stride
+			stride *= d
+		}
+		if seen[flat] {
+			continue
+		}
+		seen[flat] = true
+		t.MustAppend(idx, rng.Float64()*2-1)
+	}
+	return t
+}
+
+func randomFactors(rng *rand.Rand, dims, ranks []int) []*mat.Dense {
+	fs := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()*2 - 1
+		}
+		fs[m] = a
+	}
+	return fs
+}
+
+// toDense materializes the sparse tensor with zeros for missing cells.
+func toDense(x *tensor.Coord) *tensor.Dense {
+	d := tensor.NewDenseTensor(x.Dims())
+	for e := 0; e < x.NNZ(); e++ {
+		d.Set(x.Index(e), x.Value(e))
+	}
+	return d
+}
+
+func TestCheckBudget(t *testing.T) {
+	if err := CheckBudget(100, 0); err != nil {
+		t.Fatalf("tiny intermediate must pass default budget: %v", err)
+	}
+	if err := CheckBudget(1e18, 0); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	if err := CheckBudget(1e18, -1); err != nil {
+		t.Fatalf("negative budget disables the check: %v", err)
+	}
+	if err := CheckBudget(200, 100); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("explicit budget must bind: %v", err)
+	}
+}
+
+func TestColStrides(t *testing.T) {
+	s := ColStrides([]int{2, 3, 4}, 1)
+	// Excluding mode 1: mode 0 stride 1, mode 2 stride 2.
+	if s[0] != 1 || s[1] != 0 || s[2] != 2 {
+		t.Fatalf("ColStrides = %v", s)
+	}
+}
+
+// ExpandRow with exclude=-1 must produce exactly the Kronecker weights used
+// by the element-wise reconstruction (Eq. 4): checking against a brute-force
+// enumeration.
+func TestExpandRowMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{3, 4, 2}
+	ranks := []int{2, 3, 2}
+	fs := randomFactors(rng, dims, ranks)
+	idx := []int{1, 3, 0}
+	k := KronWidth(fs, -1)
+	buf := make([]float64, k)
+	scratch := make([]float64, k)
+	ExpandRow(buf, fs, idx, -1, 2.5, scratch)
+
+	// Brute force: little-endian layout, mode 0 varying fastest, matching
+	// ColStrides and tensor.Dense.
+	for j2 := 0; j2 < ranks[2]; j2++ {
+		for j1 := 0; j1 < ranks[1]; j1++ {
+			for j0 := 0; j0 < ranks[0]; j0++ {
+				want := 2.5 * fs[0].At(1, j0) * fs[1].At(3, j1) * fs[2].At(0, j2)
+				got := buf[(j2*ranks[1]+j1)*ranks[0]+j0]
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("weight (%d,%d,%d): got %v want %v", j0, j1, j2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandRowExcludeMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []int{3, 3, 3}
+	ranks := []int{2, 2, 2}
+	fs := randomFactors(rng, dims, ranks)
+	idx := []int{0, 1, 2}
+	k := KronWidth(fs, 1)
+	if k != 4 {
+		t.Fatalf("KronWidth excluding mode 1 = %d want 4", k)
+	}
+	buf := make([]float64, k)
+	scratch := make([]float64, k)
+	ExpandRow(buf, fs, idx, 1, 1, scratch)
+	// Little-endian over the included modes {0, 2}: mode 0 varies fastest.
+	for j0 := 0; j0 < 2; j0++ {
+		for j2 := 0; j2 < 2; j2++ {
+			want := fs[0].At(0, j0) * fs[2].At(2, j2)
+			if got := buf[j2*2+j0]; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("excluded expansion (%d,%d): got %v want %v", j0, j2, got, want)
+			}
+		}
+	}
+}
+
+// MaterializeY must agree with the dense-tensor definition
+// Y(n) = (X ×_{m≠n} A(m)ᵀ)(n) computed through internal/tensor, up to a
+// fixed column permutation; Y·Yᵀ is permutation-invariant so we compare that.
+func TestMaterializeYMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{4, 5, 3}
+	ranks := []int{2, 2, 2}
+	x := randomSparse(rng, dims, 20)
+	fs := randomFactors(rng, dims, ranks)
+
+	for n := 0; n < 3; n++ {
+		y, err := MaterializeY(x, fs, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := toDense(x)
+		chain := make([]*mat.Dense, 3)
+		for m := 0; m < 3; m++ {
+			if m != n {
+				chain[m] = fs[m].T()
+			}
+		}
+		want := dense.ModeProductChain(chain).Matricize(n)
+		got1 := mat.MulT(y, y)
+		got2 := mat.MulT(want, want)
+		if !got1.Equal(got2, 1e-9) {
+			t.Fatalf("mode %d: Y·Yᵀ mismatch against dense reference", n)
+		}
+	}
+}
+
+func TestMaterializeYBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{1000, 1000, 1000}
+	x := tensor.NewCoord(dims)
+	x.MustAppend([]int{0, 0, 0}, 1)
+	fs := randomFactors(rng, dims, []int{10, 10, 10})
+	if _, err := MaterializeY(x, fs, 0, 100); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+// DenseCore must match the dense-tensor chain X ×1 A(1)ᵀ … ×N A(N)ᵀ.
+func TestDenseCoreMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := []int{4, 3, 5}
+	ranks := []int{2, 2, 3}
+	x := randomSparse(rng, dims, 25)
+	fs := randomFactors(rng, dims, ranks)
+	got := DenseCore(x, fs)
+
+	dense := toDense(x)
+	chain := make([]*mat.Dense, 3)
+	for m := 0; m < 3; m++ {
+		chain[m] = fs[m].T()
+	}
+	want := dense.ModeProductChain(chain)
+	for i := range want.Data() {
+		if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-9 {
+			t.Fatal("DenseCore mismatch against dense reference")
+		}
+	}
+}
+
+func TestRandomOrthonormalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	fs := RandomOrthonormalFactors([]int{10, 8}, []int{3, 2}, rng)
+	for m, a := range fs {
+		if !mat.Gram(a).Equal(mat.Identity(a.Cols()), 1e-9) {
+			t.Fatalf("factor %d not orthonormal", m)
+		}
+	}
+}
+
+func TestModelPredictAndError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{4, 4, 4}
+	ranks := []int{2, 2, 2}
+	fs := randomFactors(rng, dims, ranks)
+	g := tensor.NewDenseTensor(ranks)
+	for i := range g.Data() {
+		g.Data()[i] = rng.Float64()
+	}
+	m := &Model{Factors: fs, Core: g}
+
+	idx := []int{1, 2, 3}
+	var want float64
+	for j0 := 0; j0 < 2; j0++ {
+		for j1 := 0; j1 < 2; j1++ {
+			for j2 := 0; j2 < 2; j2++ {
+				want += g.At([]int{j0, j1, j2}) * fs[0].At(1, j0) * fs[1].At(2, j1) * fs[2].At(3, j2)
+			}
+		}
+	}
+	if got := m.Predict(idx); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("Predict = %v want %v", got, want)
+	}
+
+	// Error over a singleton observation set equals |X - pred|.
+	x := tensor.NewCoord(dims)
+	x.MustAppend(idx, want+3)
+	if got := m.ReconstructionError(x); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("ReconstructionError = %v want 3", got)
+	}
+	if got := m.RMSE(x); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("RMSE = %v want 3", got)
+	}
+	if m.RMSE(tensor.NewCoord(dims)) != 0 {
+		t.Fatal("RMSE over empty set must be 0")
+	}
+}
+
+func TestZeroFillFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := []int{6, 6, 6}
+	x := randomSparse(rng, dims, 30)
+	fs := RandomOrthonormalFactors(dims, []int{2, 2, 2}, rng)
+	g := DenseCore(x, fs)
+	m := &Model{Factors: fs, Core: g}
+	fit := m.ZeroFillFit(x)
+	if fit < 0 || fit > 1 {
+		t.Fatalf("fit %v out of [0,1]", fit)
+	}
+	// Brute force: reconstruct densely and compare.
+	dense := toDense(x)
+	chain := make([]*mat.Dense, 3)
+	for mm := 0; mm < 3; mm++ {
+		chain[mm] = fs[mm] // maps Jm -> Im
+	}
+	xhat := g.ModeProductChain(chain)
+	var ss float64
+	for i := range dense.Data() {
+		r := dense.Data()[i] - xhat.Data()[i]
+		ss += r * r
+	}
+	want := 1 - math.Sqrt(ss)/x.Norm()
+	if math.Abs(fit-want) > 1e-8 {
+		t.Fatalf("ZeroFillFit = %v want %v", fit, want)
+	}
+}

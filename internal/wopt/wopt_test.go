@@ -1,0 +1,175 @@
+package wopt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+func sparsePlanted(rng *rand.Rand, dims, ranks []int, nnz int) *tensor.Coord {
+	factors := make([]*mat.Dense, len(dims))
+	for m := range dims {
+		a := mat.NewDense(dims[m], ranks[m])
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()
+		}
+		factors[m] = a
+	}
+	g := tensor.NewDenseTensor(ranks)
+	for i := range g.Data() {
+		g.Data()[i] = rng.Float64()
+	}
+	dense := g.ModeProductChain(factors)
+	out := tensor.NewCoord(dims)
+	idx := make([]int, len(dims))
+	seen := make(map[int]bool)
+	for out.NNZ() < nnz {
+		flat, stride := 0, 1
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+			flat += idx[k] * stride
+			stride *= d
+		}
+		if seen[flat] {
+			continue
+		}
+		seen[flat] = true
+		out.MustAppend(idx, dense.At(idx))
+	}
+	return out
+}
+
+func TestWOptLossMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := sparsePlanted(rng, []int{6, 6, 6}, []int{2, 2, 2}, 80)
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Trace); i++ {
+		if m.Trace[i].Fit > m.Trace[i-1].Fit+1e-12 {
+			t.Fatalf("loss increased at iteration %d: %v -> %v",
+				i+1, m.Trace[i-1].Fit, m.Trace[i].Fit)
+		}
+	}
+	if m.Trace[len(m.Trace)-1].Fit >= m.Trace[0].Fit {
+		t.Fatal("loss did not improve at all")
+	}
+}
+
+// Finite-difference check of the analytic NCG gradient on a tiny problem —
+// the strongest single test of the weighted-optimization formulation.
+func TestWOptGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{3, 4, 2}
+	ranks := []int{2, 2, 2}
+	x := sparsePlanted(rng, dims, ranks, 10)
+	p := newPoint(dims, ranks, rng)
+	grad := p.zeroLike()
+	base := p.lossAndGrad(x, grad)
+
+	const h = 1e-6
+	check := func(get func() *float64, analytic float64, what string) {
+		t.Helper()
+		v := get()
+		old := *v
+		*v = old + h
+		plus := p.loss(x)
+		*v = old - h
+		minus := p.loss(x)
+		*v = old
+		numeric := (plus - minus) / (2 * h)
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("%s: numeric %v vs analytic %v (loss %v)", what, numeric, analytic, base)
+		}
+	}
+
+	// Spot-check several factor coordinates and core cells.
+	for trial := 0; trial < 10; trial++ {
+		m := rng.Intn(len(dims))
+		i := rng.Intn(dims[m])
+		j := rng.Intn(ranks[m])
+		check(func() *float64 {
+			return &p.factors[m].Data()[i*ranks[m]+j]
+		}, grad.factors[m].At(i, j), "factor")
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := rng.Intn(len(p.core.Data()))
+		check(func() *float64 { return &p.core.Data()[q] }, grad.core.Data()[q], "core")
+	}
+}
+
+func TestWOptFitsObservedEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := sparsePlanted(rng, []int{6, 5, 4}, []int{2, 2, 2}, 60)
+	m, err := Decompose(x, Config{Ranks: []int{2, 2, 2}, MaxIters: 60, Tol: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err5 := m.ReconstructionError(x)
+	if err5 > 0.15*x.Norm() {
+		t.Fatalf("wOpt failed to fit observed entries: error %v vs ||X|| %v", err5, x.Norm())
+	}
+	// Predictions must be finite.
+	if v := m.Predict([]int{1, 1, 1}); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("prediction not finite: %v", v)
+	}
+	if m.TimePerIteration() <= 0 {
+		t.Fatal("per-iteration time must be positive")
+	}
+}
+
+func TestWOptOutOfMemory(t *testing.T) {
+	dims := []int{300, 300, 300, 300} // 8.1e9 cells > default budget
+	x := tensor.NewCoord(dims)
+	x.MustAppend([]int{0, 0, 0, 0}, 1)
+	if _, err := Decompose(x, Config{Ranks: []int{1, 1, 1, 1}, MaxIters: 1}); !errors.Is(err, ttm.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	// Explicit small budget binds even for small tensors.
+	small := tensor.NewCoord([]int{20, 20, 20})
+	small.MustAppend([]int{1, 1, 1}, 1)
+	if _, err := Decompose(small, Config{Ranks: []int{2, 2, 2}, MaxIters: 1, MemoryBudgetBytes: 1024}); !errors.Is(err, ttm.ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory with explicit budget, got %v", err)
+	}
+}
+
+func TestWOptValidation(t *testing.T) {
+	x := tensor.NewCoord([]int{4, 4})
+	x.MustAppend([]int{0, 0}, 1)
+	bad := []Config{
+		{Ranks: []int{2}, MaxIters: 1},
+		{Ranks: []int{0, 2}, MaxIters: 1},
+		{Ranks: []int{9, 2}, MaxIters: 1},
+		{Ranks: []int{2, 2}, MaxIters: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Decompose(x, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+	if _, err := Decompose(tensor.NewCoord([]int{4, 4}), Config{Ranks: []int{2, 2}, MaxIters: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("empty tensor must be rejected")
+	}
+}
+
+func TestWOptRMSEOnHoldout(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := sparsePlanted(rng, []int{8, 8, 8}, []int{2, 2, 2}, 200)
+	train, test := x.Split(0.9, rng)
+	m, err := Decompose(train, Config{Ranks: []int{2, 2, 2}, MaxIters: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := m.RMSE(test)
+	// Noise-free planted data with generous sampling: held-out RMSE must be
+	// far below the data scale (values are O(1)).
+	if rmse > 0.5 {
+		t.Fatalf("held-out RMSE = %v, expected generalization on planted data", rmse)
+	}
+}

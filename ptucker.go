@@ -1,0 +1,132 @@
+// Package ptucker is the public API of this reproduction of "Scalable Tucker
+// Factorization for Sparse Tensors — Algorithms and Discoveries" (Oh, Park,
+// Sael, Kang; ICDE 2018).
+//
+// It factorizes large sparse partially-observed tensors with P-Tucker — an
+// alternating-least-squares method with a fully parallel row-wise update rule
+// that touches only the observed entries — and exposes the paper's two
+// time-optimized variants (P-Tucker-Cache, P-Tucker-Approx), the discovery
+// tooling of Section V (concept clustering, core-driven relation mining), and
+// tensor IO in the published dataset format.
+//
+// Quick start:
+//
+//	x := ptucker.NewTensor([]int{users, movies, hours})
+//	x.Append([]int{u, m, h}, rating)            // repeat for observed cells
+//	cfg := ptucker.Defaults([]int{10, 10, 10})  // core ranks J1..J3
+//	model, err := ptucker.Decompose(x, cfg)
+//	pred := model.Predict([]int{u2, m2, h2})    // estimate a missing cell
+//
+// The subpackages under internal/ contain the substrates (dense linear
+// algebra, sparse tensors, the baseline methods of the paper's evaluation)
+// and the experiment harness that regenerates every table and figure; see
+// DESIGN.md and EXPERIMENTS.md.
+package ptucker
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/discovery"
+	"repro/internal/tensor"
+)
+
+// Tensor is a sparse tensor in coordinate format: the set Ω of observed
+// entries of a partially observable multi-dimensional array.
+type Tensor = tensor.Coord
+
+// NewTensor returns an empty sparse tensor with the given mode lengths.
+func NewTensor(dims []int) *Tensor { return tensor.NewCoord(dims) }
+
+// ReadTensorFile loads a tensor from the text format of the published
+// P-Tucker datasets: one observed entry per line, 1-based indices then the
+// value. Pass nil dims to infer the shape from the data.
+func ReadTensorFile(path string, order int, dims []int) (*Tensor, error) {
+	return tensor.ReadFile(path, order, dims)
+}
+
+// WriteTensorFile stores a tensor in the text format.
+func WriteTensorFile(path string, t *Tensor) error { return tensor.WriteFile(path, t) }
+
+// Config holds the factorization hyper-parameters; see Defaults for the
+// paper's settings.
+type Config = core.Config
+
+// Model is a fitted Tucker factorization: orthonormal factor matrices, the
+// core tensor, and per-iteration statistics.
+type Model = core.Model
+
+// Method selects the P-Tucker variant.
+type Method = core.Method
+
+// The P-Tucker family (Section III).
+const (
+	// PTucker is the default memory-optimized algorithm (O(T·J²)
+	// intermediate memory).
+	PTucker = core.PTucker
+	// PTuckerCache memoizes intermediate products for O(1) δ updates at
+	// O(|Ω|·|G|) memory.
+	PTuckerCache = core.PTuckerCache
+	// PTuckerApprox truncates "noisy" core entries each iteration,
+	// trading a little accuracy for shrinking per-iteration time.
+	PTuckerApprox = core.PTuckerApprox
+)
+
+// Scheduling selects how factor rows are distributed over worker threads.
+type Scheduling = core.Scheduling
+
+// Row distribution policies (Section III-D).
+const (
+	// ScheduleDynamic corrects per-row workload skew (the default).
+	ScheduleDynamic = core.ScheduleDynamic
+	// ScheduleStatic is the naive contiguous split.
+	ScheduleStatic = core.ScheduleStatic
+)
+
+// Defaults returns the paper's default configuration for the given core
+// ranks: λ=0.01, at most 20 iterations, truncation rate p=0.2, dynamic
+// scheduling, one worker per CPU.
+func Defaults(ranks []int) Config {
+	cfg := core.Defaults(ranks)
+	cfg.MaxIters = 20
+	return cfg
+}
+
+// Decompose factorizes the observed entries of x per Algorithm 2 and returns
+// the fitted model. All randomness derives from cfg.Seed; equal inputs give
+// bit-identical models at any thread count.
+func Decompose(x *Tensor, cfg Config) (*Model, error) { return core.Decompose(x, cfg) }
+
+// Concept is a discovered cluster over one mode's indices (Section V,
+// Table V).
+type Concept = discovery.Concept
+
+// Relation is a discovered association between factor columns weighted by a
+// core entry (Section V, Table VI).
+type Relation = discovery.Relation
+
+// Concepts clusters the rows of factor matrix A(mode) into k concepts with
+// k-means, returning members ranked by representativeness (topPerConcept
+// bounds each list; 0 means all).
+func Concepts(m *Model, mode, k, topPerConcept int, seed int64) ([]Concept, error) {
+	return discovery.Concepts(m, mode, k, topPerConcept, rand.New(rand.NewSource(seed)))
+}
+
+// Relations returns the topK strongest relations in the model's core with
+// the topLoad highest-loading indices per mode.
+func Relations(m *Model, topK, topLoad int) []Relation {
+	return discovery.Relations(m, topK, topLoad)
+}
+
+// CPConfig configures the companion CP decomposition (see DecomposeCP).
+type CPConfig = cp.Config
+
+// CPModel is a fitted CP decomposition.
+type CPModel = cp.Model
+
+// DecomposeCP fits a rank-R CANDECOMP/PARAFAC model to the observed entries
+// of x with the row-wise ALS of Shin et al. (reference [24] of the paper) —
+// the special case of Tucker with a super-diagonal core, useful when the
+// full Jᴺ core is unnecessary.
+func DecomposeCP(x *Tensor, cfg CPConfig) (*CPModel, error) { return cp.Decompose(x, cfg) }

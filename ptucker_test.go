@@ -1,0 +1,127 @@
+package ptucker
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// ratingTensor builds a small structured rating tensor for facade tests.
+func ratingTensor(seed int64) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := NewTensor([]int{40, 30, 12})
+	idx := make([]int, 3)
+	for x.NNZ() < 800 {
+		idx[0], idx[1], idx[2] = rng.Intn(40), rng.Intn(30), rng.Intn(12)
+		// Block structure: users and items in matching halves rate high.
+		v := 0.2
+		if (idx[0] < 20) == (idx[1] < 15) {
+			v = 0.8
+		}
+		x.MustAppend(idx, v+0.05*rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFacadeDecomposeAndPredict(t *testing.T) {
+	x := ratingTensor(1)
+	cfg := Defaults([]int{3, 3, 3})
+	cfg.MaxIters = 6
+	cfg.Threads = 2
+	cfg.Seed = 7
+	m, err := Decompose(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fit(x) < 0.7 {
+		t.Fatalf("fit %v too low for structured data", m.Fit(x))
+	}
+	p := m.Predict([]int{1, 1, 1})
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("prediction not finite: %v", p)
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	x := ratingTensor(2)
+	for _, method := range []Method{PTucker, PTuckerCache, PTuckerApprox} {
+		cfg := Defaults([]int{2, 2, 2})
+		cfg.Method = method
+		cfg.MaxIters = 3
+		cfg.Threads = 2
+		cfg.Seed = 5
+		if _, err := Decompose(x, cfg); err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+	}
+}
+
+func TestFacadeTensorIO(t *testing.T) {
+	x := ratingTensor(3)
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := WriteTensorFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTensorFile(path, 3, x.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != x.NNZ() {
+		t.Fatalf("IO round trip lost entries: %d vs %d", back.NNZ(), x.NNZ())
+	}
+}
+
+func TestFacadeDiscovery(t *testing.T) {
+	x := ratingTensor(4)
+	cfg := Defaults([]int{2, 2, 2})
+	cfg.MaxIters = 5
+	cfg.Threads = 2
+	cfg.Seed = 9
+	m, err := Decompose(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concepts, err := Concepts(m, 0, 2, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concepts) != 2 {
+		t.Fatalf("%d concepts want 2", len(concepts))
+	}
+	rels := Relations(m, 2, 3)
+	if len(rels) != 2 {
+		t.Fatalf("%d relations want 2", len(rels))
+	}
+	if len(rels[0].TopIndices) != 3 {
+		t.Fatalf("relation mode lists = %d want 3", len(rels[0].TopIndices))
+	}
+}
+
+func TestFacadeSchedulingConstants(t *testing.T) {
+	x := ratingTensor(5)
+	cfg := Defaults([]int{2, 2, 2})
+	cfg.MaxIters = 2
+	cfg.Scheduling = ScheduleStatic
+	cfg.Threads = 2
+	if _, err := Decompose(x, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ScheduleDynamic == ScheduleStatic {
+		t.Fatal("scheduling constants must differ")
+	}
+}
+
+func TestFacadeDecomposeCP(t *testing.T) {
+	x := ratingTensor(6)
+	m, err := DecomposeCP(x, CPConfig{Rank: 3, Lambda: 0.01, MaxIters: 15, Threads: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.ReconstructionError(x); e > 0.5*x.Norm() {
+		t.Fatalf("CP error %v too high vs ||X||=%v", e, x.Norm())
+	}
+	if v := m.Predict([]int{1, 2, 3}); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("CP prediction not finite: %v", v)
+	}
+}

@@ -3,11 +3,11 @@ package ptucker
 // One benchmark per table and figure of the paper's evaluation. Each bench
 // drives the corresponding experiment in internal/experiments at the reduced
 // (CI) scale and reports its key metric; `cmd/ptucker-bench -exp <id>` prints
-// the full paper-style series, and `-scale full` restores paper-sized
-// parameters. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
-// for measured-vs-paper outcomes.
+// the full paper-style series, `-scale full` restores paper-sized parameters,
+// and `-list` shows the experiment index.
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
@@ -159,6 +159,69 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// servingFixture fits one model and prepares a batch of random multi-indices
+// for the serving-path benchmarks.
+func servingFixture(b *testing.B, batch int) (*Predictor, [][]int) {
+	b.Helper()
+	mcfg := synth.DefaultMovieLensConfig()
+	mcfg.NNZ = 4000
+	data := synth.MovieLens(mcfg)
+	cfg := Defaults([]int{4, 4, 4, 4})
+	cfg.MaxIters = 2
+	cfg.Seed = 1
+	m, err := Decompose(data.X, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	dims := data.X.Dims()
+	idxs := make([][]int, batch)
+	for i := range idxs {
+		idx := make([]int, len(dims))
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+		}
+		idxs[i] = idx
+	}
+	return NewPredictor(m), idxs
+}
+
+// BenchmarkPredictorPredict measures single-cell serving through the
+// concurrent Predictor (pooled scratch; zero steady-state allocations).
+func BenchmarkPredictorPredict(b *testing.B) {
+	p, idxs := servingFixture(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Predict(idxs[0])
+	}
+}
+
+// BenchmarkPredictBatch measures batched serving throughput: 4096 cells per
+// call, fanned out across the predictor's workers.
+func BenchmarkPredictBatch(b *testing.B) {
+	p, idxs := servingFixture(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.PredictBatch(idxs)
+	}
+	b.ReportMetric(float64(len(idxs)*b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkPredictBatchSerial is the single-worker baseline for the fan-out
+// speedup in BenchmarkPredictBatch.
+func BenchmarkPredictBatchSerial(b *testing.B) {
+	p, idxs := servingFixture(b, 4096)
+	p = p.WithWorkers(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.PredictBatch(idxs)
+	}
+	b.ReportMetric(float64(len(idxs)*b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
 // BenchmarkReconstructionError measures the parallel Eq. (5) pass.
 func BenchmarkReconstructionError(b *testing.B) {
 	mcfg := synth.DefaultMovieLensConfig()
@@ -179,7 +242,7 @@ func BenchmarkReconstructionError(b *testing.B) {
 }
 
 // BenchmarkCoreUpdateExtension measures the optional element-wise core
-// refinement (an ablation of the UpdateCore design choice in DESIGN.md).
+// refinement (an ablation of the Config.UpdateCore extension).
 func BenchmarkCoreUpdateExtension(b *testing.B) {
 	mcfg := synth.DefaultMovieLensConfig()
 	mcfg.NNZ = 4000

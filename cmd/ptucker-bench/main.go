@@ -1,6 +1,9 @@
 // Command ptucker-bench regenerates the paper's tables and figures. Each
 // experiment id corresponds to one artifact of the evaluation (Section IV)
-// or discovery study (Section V); see DESIGN.md for the per-experiment index.
+// or discovery study (Section V); run -list for the per-experiment index.
+//
+// Long sweeps honor SIGINT/SIGTERM: the first signal cancels the run's
+// context and the in-flight factorization stops within one ALS iteration.
 //
 // Usage:
 //
@@ -10,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/synth"
@@ -47,7 +54,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptucker-bench:", err)
 		os.Exit(2)
 	}
-	opt := experiments.Options{Scale: sc, Seed: *seed, Threads: *threads, Iters: *iters}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop) // second signal force-kills: unregister once cancelled
+
+	opt := experiments.Options{Scale: sc, Seed: *seed, Threads: *threads, Iters: *iters, Ctx: ctx}
 	if *verbose {
 		opt.Out = os.Stderr
 	}
@@ -58,6 +70,10 @@ func main() {
 	}
 	for _, id := range ids {
 		res, err := experiments.Run(id, opt)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ptucker-bench: interrupted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ptucker-bench: %s: %v\n", id, err)
 			os.Exit(1)

@@ -1,24 +1,36 @@
 // Command ptucker factorizes a sparse tensor file with the P-Tucker family
-// and writes the factor matrices and core tensor to an output directory.
+// and writes the factor matrices and core tensor to an output directory. A
+// fitted model can also be persisted to a single binary file (-save) and
+// reloaded later for evaluation or serving (-load), skipping the fit.
 //
 // The input format is the one used by the published P-Tucker datasets: one
 // observed entry per line, whitespace-separated 1-based indices followed by
 // the value.
 //
+// Fitting honors SIGINT/SIGTERM: the first signal cancels the run's context
+// and the fit stops within one ALS iteration; -progress streams a line per
+// iteration as it completes instead of dumping the trace at the end.
+//
 // Usage:
 //
 //	ptucker -input ratings.tns -order 3 -ranks 10,10,10 -out ./factors
 //	ptucker -input x.tns -order 4 -ranks 5,5,5,5 -method approx -p 0.2
+//	ptucker -input ratings.tns -order 3 -ranks 10,10,10 -progress -save model.ptkm
+//	ptucker -load model.ptkm -input ratings.tns -order 3   # evaluate a saved model
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -28,23 +40,41 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func main() {
 	var (
-		input   = flag.String("input", "", "input tensor file (required)")
-		order   = flag.Int("order", 0, "tensor order N (required)")
-		ranks   = flag.String("ranks", "", "comma-separated core ranks J1..JN (required)")
-		method  = flag.String("method", "ptucker", "variant: ptucker, cache, approx")
-		lambda  = flag.Float64("lambda", 0.01, "L2 regularization λ")
-		iters   = flag.Int("iters", 20, "maximum ALS iterations")
-		tol     = flag.Float64("tol", 1e-4, "relative-error convergence tolerance (0 disables)")
-		p       = flag.Float64("p", 0.2, "truncation rate for -method approx")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output directory for factors and core (optional)")
-		split   = flag.Float64("split", 0, "hold out this fraction of entries as a test set (e.g. 0.1)")
+		input    = flag.String("input", "", "input tensor file (required unless -load)")
+		order    = flag.Int("order", 0, "tensor order N (required unless -load)")
+		ranks    = flag.String("ranks", "", "comma-separated core ranks J1..JN (required unless -load)")
+		method   = flag.String("method", "ptucker", "variant: ptucker, cache, approx")
+		lambda   = flag.Float64("lambda", 0.01, "L2 regularization λ")
+		iters    = flag.Int("iters", 20, "maximum ALS iterations")
+		tol      = flag.Float64("tol", 1e-4, "relative-error convergence tolerance (0 disables)")
+		p        = flag.Float64("p", 0.2, "truncation rate for -method approx")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output directory for text factors and core (optional)")
+		split    = flag.Float64("split", 0, "hold out this fraction of entries as a test set (e.g. 0.1)")
+		save     = flag.String("save", "", "write the fitted model to this binary file")
+		load     = flag.String("load", "", "load a saved model instead of fitting (skips decomposition)")
+		progress = flag.Bool("progress", false, "stream one line per ALS iteration while fitting")
 	)
 	flag.Parse()
 
+	// First SIGINT/SIGTERM cancels the context — the fit stops within one
+	// iteration; a second signal kills the process the usual way. The
+	// AfterFunc unregisters the handler as soon as the context dies, since
+	// NotifyContext alone would keep swallowing signals until stop() runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	if *load != "" {
+		if err := runLoaded(*load, *input, *order); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *input == "" || *order <= 0 || *ranks == "" {
-		fmt.Fprintln(os.Stderr, "ptucker: -input, -order and -ranks are required")
+		fmt.Fprintln(os.Stderr, "ptucker: -input, -order and -ranks are required (or -load)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -83,26 +113,72 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown method %q (want ptucker, cache, approx)", *method))
 	}
+	if *progress {
+		cfg.OnIteration = func(it core.IterStats) error {
+			fmt.Printf("iter %2d: error %.6g (%.3gs, |G|=%d)\n",
+				it.Iter, it.Error, it.Elapsed.Seconds(), it.CoreNNZ)
+			return nil
+		}
+	}
 
-	m, err := core.Decompose(x, cfg)
+	m, err := core.DecomposeContext(ctx, x, cfg)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptucker: interrupted — fit cancelled before completion")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	for _, it := range m.Trace {
-		fmt.Printf("iter %2d: error %.6g (%.3gs, |G|=%d)\n",
-			it.Iter, it.Error, it.Elapsed.Seconds(), it.CoreNNZ)
+	if !*progress {
+		for _, it := range m.Trace {
+			fmt.Printf("iter %2d: error %.6g (%.3gs, |G|=%d)\n",
+				it.Iter, it.Error, it.Elapsed.Seconds(), it.CoreNNZ)
+		}
 	}
 	fmt.Printf("final: error %.6g, fit %.4f, converged %v\n", m.TrainError, m.Fit(x), m.Converged)
 	if test != nil {
 		fmt.Printf("test RMSE: %.6g over %d held-out entries\n", m.RMSE(test), test.NNZ())
 	}
 
+	if *save != "" {
+		if err := core.SaveModel(*save, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved model to %s\n", *save)
+	}
 	if *out != "" {
 		if err := writeModel(*out, m); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote factors and core to %s\n", *out)
 	}
+}
+
+// runLoaded serves the -load path: read a saved model, report its provenance,
+// and — when a tensor is supplied — evaluate it.
+func runLoaded(path, input string, order int) error {
+	m, err := core.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded model %s: order %d, ranks %v, method %s, %d iterations recorded\n",
+		path, m.Order(), m.Config.Ranks, m.Config.Method, len(m.Trace))
+	fmt.Printf("training error at save time: %.6g (converged %v)\n", m.TrainError, m.Converged)
+
+	if input == "" {
+		return nil
+	}
+	if order <= 0 {
+		order = m.Order()
+	}
+	x, err := tensor.ReadFile(input, order, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluating on %v\n", x)
+	fmt.Printf("reconstruction error %.6g, fit %.4f, RMSE %.6g\n",
+		m.ReconstructionError(x), m.Fit(x), m.RMSE(x))
+	return nil
 }
 
 func parseRanks(s string, order int) ([]int, error) {

@@ -7,10 +7,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"repro"
 	"repro/internal/csf"
@@ -22,6 +25,12 @@ import (
 )
 
 func main() {
+	// The P-Tucker fits run under a signal-bound context: Ctrl-C stops the
+	// in-flight factorization within one ALS iteration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop) // second Ctrl-C force-kills: unregister once cancelled
+
 	// A sparse planted tensor: observed entries carry low-rank structure,
 	// missing cells are NOT zeros — the regime that separates
 	// observed-entry methods from zero-filling ones.
@@ -40,7 +49,7 @@ func main() {
 		cfg.MaxIters = iters
 		cfg.Tol = 0
 		cfg.Seed = 2
-		m, err := ptucker.Decompose(train, cfg)
+		m, err := ptucker.DecomposeContext(ctx, train, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,14 +18,18 @@ import (
 func main() {
 	// Simulated MovieLens with planted genres and temporal preferences
 	// (the real 20M-rating tensor is not redistributable; the stand-in
-	// keeps the same structure at laptop scale — see DESIGN.md §4).
+	// keeps the same structure at laptop scale — see internal/synth).
 	data := synth.MovieLens(synth.DefaultMovieLensConfig())
 	fmt.Println("rating tensor:", data.X)
 
 	cfg := ptucker.Defaults([]int{6, 6, 6, 6})
 	cfg.MaxIters = 8
 	cfg.Seed = 3
-	model, err := ptucker.Decompose(data.X, cfg)
+	cfg.OnIteration = func(s ptucker.IterStats) error {
+		fmt.Printf("  fitting: iter %d error %.3f (|G|=%d)\n", s.Iter, s.Error, s.CoreNNZ)
+		return nil
+	}
+	model, err := ptucker.DecomposeContext(context.Background(), data.X, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,17 @@
 // Quickstart: build a small sparse rating tensor, factorize it with
-// P-Tucker, and predict a missing entry.
+// P-Tucker under a cancellable context with live progress, persist the
+// fitted model, and serve predictions from a reloaded copy.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"repro" // package ptucker: the public facade
 )
@@ -31,9 +35,15 @@ func main() {
 	fmt.Println("observed tensor:", x)
 
 	// Factorize with a 3x3x3 core and the paper's default hyper-parameters.
+	// The context makes the fit cancellable (wire it to a signal or deadline
+	// in a real service); OnIteration streams progress as the fit runs.
 	cfg := ptucker.Defaults([]int{3, 3, 3})
 	cfg.Seed = 1
-	model, err := ptucker.Decompose(x, cfg)
+	cfg.OnIteration = func(s ptucker.IterStats) error {
+		fmt.Printf("  iter %2d: error %.4f\n", s.Iter, s.Error)
+		return nil // return ptucker.ErrStopIteration to stop early
+	}
+	model, err := ptucker.DecomposeContext(context.Background(), x, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +51,30 @@ func main() {
 	fmt.Printf("converged=%v after %d iterations; reconstruction error %.4f (fit %.3f)\n",
 		model.Converged, len(model.Trace), model.TrainError, model.Fit(x))
 
-	// Predict two missing cells: one inside a high-rating block, one outside.
-	high := model.Predict([]int{3, 5, 2}) // user<25, item<20 → expect ≈0.85
-	low := model.Predict([]int{3, 35, 2}) // user<25, item≥20 → expect ≈0.25
-	fmt.Printf("predicted in-block rating:  %.3f (planted ≈0.85)\n", high)
-	fmt.Printf("predicted off-block rating: %.3f (planted ≈0.25)\n", low)
+	// Persist the model and reload it — the round trip is bit-identical, so
+	// a fit on one machine can serve on another.
+	dir, err := os.MkdirTemp("", "ptucker-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.ptkm")
+	if err := ptucker.SaveModel(path, model); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := ptucker.LoadModel(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved and reloaded model (%s)\n", path)
+
+	// Serve predictions through a concurrent-safe Predictor. Predict two
+	// missing cells: one inside a high-rating block, one outside.
+	p := ptucker.NewPredictor(loaded)
+	preds := p.PredictBatch([][]int{
+		{3, 5, 2},  // user<25, item<20 → expect ≈0.85
+		{3, 35, 2}, // user<25, item≥20 → expect ≈0.25
+	})
+	fmt.Printf("predicted in-block rating:  %.3f (planted ≈0.85)\n", preds[0])
+	fmt.Printf("predicted off-block rating: %.3f (planted ≈0.25)\n", preds[1])
 }

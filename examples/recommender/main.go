@@ -1,12 +1,16 @@
 // Recommender: train/test evaluation of missing-rating prediction and top-N
 // recommendation on a simulated rating tensor — the workflow the paper's
 // introduction motivates ("(user, movie, time; rating) for movie
-// recommendations ... predict missing values").
+// recommendations ... predict missing values"). Candidate scoring goes
+// through the serving-layer Predictor: the whole unseen-movie slate is
+// ranked with one concurrent PredictBatch call, the shape a production
+// recommender uses per request.
 //
 // Run with: go run ./examples/recommender
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,7 +33,7 @@ func main() {
 	pcfg := ptucker.Defaults([]int{5, 5, 5, 5})
 	pcfg.MaxIters = 10
 	pcfg.Seed = 5
-	model, err := ptucker.Decompose(train, pcfg)
+	model, err := ptucker.DecomposeContext(context.Background(), train, pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +41,8 @@ func main() {
 		model.TrainError, model.RMSE(test))
 
 	// Top-5 recommendations for one user: rank unseen movies by predicted
-	// rating at a fixed (year, hour) context.
+	// rating at a fixed (year, hour) context. The Predictor scores the whole
+	// candidate slate in one batched, multi-worker pass.
 	const user, year, hour = 7, 10, 20
 	seen := map[int]bool{}
 	for e := 0; e < train.NNZ(); e++ {
@@ -45,16 +50,24 @@ func main() {
 			seen[idx[1]] = true
 		}
 	}
-	type rec struct {
-		movie int
-		score float64
-	}
-	var recs []rec
+	p := ptucker.NewPredictor(model)
+	var candidates []int
+	var batch [][]int
 	for m := 0; m < cfg.Movies; m++ {
 		if seen[m] {
 			continue
 		}
-		recs = append(recs, rec{m, model.Predict([]int{user, m, year, hour})})
+		candidates = append(candidates, m)
+		batch = append(batch, []int{user, m, year, hour})
+	}
+	scores := p.PredictBatch(batch)
+	type rec struct {
+		movie int
+		score float64
+	}
+	recs := make([]rec, len(candidates))
+	for i, m := range candidates {
+		recs[i] = rec{m, scores[i]}
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].score > recs[j].score })
 

@@ -1,6 +1,6 @@
 package core
 
-// Ablation micro-benchmarks for the design choices called out in DESIGN.md:
+// Ablation micro-benchmarks for the reproduction's design choices:
 // plain vs cached δ computation, core truncation cost, dynamic vs static
 // scheduling, the sampling extension, and the parallel error pass.
 

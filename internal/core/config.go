@@ -110,6 +110,17 @@ type Config struct {
 	// decompositions, while sacrificing little accuracy"); zero disables it.
 	// Error measurement always uses all observed entries.
 	SampleRate float64
+	// OnIteration, when non-nil, is called after every ALS iteration with
+	// that iteration's statistics — the observability hook for streaming
+	// progress, custom stopping rules, and checkpoint triggers. Returning
+	// ErrStopIteration ends the fit cleanly after the current iteration:
+	// the model is still finalized (QR + core rotation) and returned with a
+	// nil error, so a caller can stop on its own criterion and SaveModel
+	// the result. Any other error aborts the fit and is returned wrapped.
+	// The hook runs on the fitting goroutine between iterations (no factor
+	// updates are concurrent with it), so long callbacks extend iteration
+	// wall-clock time.
+	OnIteration func(IterStats) error
 }
 
 // Defaults returns the paper's default configuration for the given core
@@ -129,6 +140,12 @@ func Defaults(ranks []int) Config {
 	}
 }
 
+// ErrStopIteration is the sentinel an OnIteration hook returns to stop the
+// fit early without signalling failure, in the spirit of fs.SkipDir: the
+// decomposition finalizes the factors fitted so far and returns the model
+// with a nil error.
+var ErrStopIteration = errors.New("core: stop iteration")
+
 // Errors returned by Validate and Decompose.
 var (
 	ErrNoRanks        = errors.New("core: config has no ranks")
@@ -143,39 +160,43 @@ var (
 )
 
 // Validate checks the configuration against a tensor of the given shape and
-// normalizes zero-valued knobs to their defaults.
-func (c *Config) Validate(dims []int) error {
+// returns a normalized copy with zero-valued knobs (Threads, ChunkSize)
+// resolved to their defaults. It is pure: the receiver — including its Ranks
+// slice — is never modified, so a caller's Config can be reused and compared
+// across fits without surprise rewrites.
+func (c Config) Validate(dims []int) (Config, error) {
 	if len(c.Ranks) == 0 {
-		return ErrNoRanks
+		return c, ErrNoRanks
 	}
 	if len(c.Ranks) != len(dims) {
-		return fmt.Errorf("%w: order %d vs %d ranks", ErrOrderMismatch, len(dims), len(c.Ranks))
+		return c, fmt.Errorf("%w: order %d vs %d ranks", ErrOrderMismatch, len(dims), len(c.Ranks))
 	}
 	for n, j := range c.Ranks {
 		if j <= 0 {
-			return fmt.Errorf("%w: J%d = %d", ErrBadRank, n+1, j)
+			return c, fmt.Errorf("%w: J%d = %d", ErrBadRank, n+1, j)
 		}
 		if j > dims[n] {
-			return fmt.Errorf("%w: J%d = %d > I%d = %d", ErrRankExceedsDim, n+1, j, n+1, dims[n])
+			return c, fmt.Errorf("%w: J%d = %d > I%d = %d", ErrRankExceedsDim, n+1, j, n+1, dims[n])
 		}
 	}
 	if c.Lambda < 0 {
-		return fmt.Errorf("%w: %v", ErrBadLambda, c.Lambda)
+		return c, fmt.Errorf("%w: %v", ErrBadLambda, c.Lambda)
 	}
 	if c.MaxIters <= 0 {
-		return fmt.Errorf("%w: %d", ErrBadIters, c.MaxIters)
+		return c, fmt.Errorf("%w: %d", ErrBadIters, c.MaxIters)
 	}
 	if c.Method == PTuckerApprox && (c.TruncationRate <= 0 || c.TruncationRate >= 1) {
-		return fmt.Errorf("%w: p = %v", ErrBadTruncation, c.TruncationRate)
+		return c, fmt.Errorf("%w: p = %v", ErrBadTruncation, c.TruncationRate)
 	}
 	if c.SampleRate < 0 || c.SampleRate >= 1 {
-		return fmt.Errorf("%w: %v", ErrBadSampleRate, c.SampleRate)
+		return c, fmt.Errorf("%w: %v", ErrBadSampleRate, c.SampleRate)
 	}
+	c.Ranks = append([]int(nil), c.Ranks...)
 	if c.Threads <= 0 {
 		c.Threads = runtime.GOMAXPROCS(0)
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 8
 	}
-	return nil
+	return c, nil
 }

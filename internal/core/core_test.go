@@ -99,7 +99,7 @@ func TestConfigValidate(t *testing.T) {
 	for _, tc := range cases {
 		cfg := Defaults([]int{2, 2, 2})
 		tc.mut(&cfg)
-		err := cfg.Validate(dims)
+		_, err := cfg.Validate(dims)
 		if err == nil {
 			t.Fatalf("%s: expected error", tc.name)
 		}
@@ -107,13 +107,48 @@ func TestConfigValidate(t *testing.T) {
 			t.Fatalf("%s: err = %v want %v", tc.name, err, tc.want)
 		}
 	}
-	// Valid config normalizes Threads and ChunkSize.
+	// A valid config comes back with Threads and ChunkSize normalized.
 	cfg := Defaults([]int{2, 2, 2})
-	if err := cfg.Validate(dims); err != nil {
+	norm, err := cfg.Validate(dims)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Threads < 1 || cfg.ChunkSize < 1 {
-		t.Fatalf("defaults not normalized: T=%d chunk=%d", cfg.Threads, cfg.ChunkSize)
+	if norm.Threads < 1 || norm.ChunkSize < 1 {
+		t.Fatalf("defaults not normalized: T=%d chunk=%d", norm.Threads, norm.ChunkSize)
+	}
+}
+
+// Validate must be pure: the caller's Config — including its Ranks slice —
+// is never rewritten, whatever zero-valued knobs need normalizing.
+func TestConfigValidatePure(t *testing.T) {
+	cfg := Config{
+		Ranks:    []int{3, 2, 4},
+		Lambda:   0.5,
+		MaxIters: 7,
+		// Threads and ChunkSize deliberately zero: the old API normalized
+		// them in place on the caller's struct.
+	}
+	ranksBefore := append([]int(nil), cfg.Ranks...)
+
+	norm, err := cfg.Validate([]int{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Threads != 0 || cfg.ChunkSize != 0 {
+		t.Fatalf("Validate mutated the caller's config: T=%d chunk=%d", cfg.Threads, cfg.ChunkSize)
+	}
+	if norm.Threads < 1 || norm.ChunkSize < 1 {
+		t.Fatalf("normalized copy missing defaults: T=%d chunk=%d", norm.Threads, norm.ChunkSize)
+	}
+	// The normalized copy must not alias the caller's Ranks storage.
+	norm.Ranks[0] = 99
+	for i, r := range cfg.Ranks {
+		if r != ranksBefore[i] {
+			t.Fatalf("normalized copy aliases caller's Ranks: %v", cfg.Ranks)
+		}
+	}
+	if norm.Lambda != cfg.Lambda || norm.MaxIters != cfg.MaxIters {
+		t.Fatalf("normalization changed explicit fields: %+v vs %+v", norm, cfg)
 	}
 }
 
@@ -704,13 +739,13 @@ func TestSampleRateValidation(t *testing.T) {
 	for _, bad := range []float64{-0.1, 1.0, 1.5} {
 		cfg := Defaults([]int{2, 2})
 		cfg.SampleRate = bad
-		if err := cfg.Validate([]int{5, 5}); !errorIs(err, ErrBadSampleRate) {
+		if _, err := cfg.Validate([]int{5, 5}); !errorIs(err, ErrBadSampleRate) {
 			t.Fatalf("rate %v: err = %v want ErrBadSampleRate", bad, err)
 		}
 	}
 	cfg := Defaults([]int{2, 2})
 	cfg.SampleRate = 0.5
-	if err := cfg.Validate([]int{5, 5}); err != nil {
+	if _, err := cfg.Validate([]int{5, 5}); err != nil {
 		t.Fatalf("rate 0.5 must be valid: %v", err)
 	}
 }

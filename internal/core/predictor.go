@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Predictor is the serving-side view of a fitted Model: an immutable handle
+// that reconstructs tensor cells by Eq. (4), safe for concurrent use by any
+// number of goroutines.
+//
+// NewPredictor deep-copies the model's factors and core, so the predictor's
+// answers cannot change under a caller's feet even if the source Model is
+// mutated afterwards. Per-call scratch (the factor-row view buffer) comes
+// from a sync.Pool, so steady-state Predict does not allocate; PredictBatch
+// fans a batch out across worker goroutines for throughput.
+//
+// Predictions are bit-identical to Model.Predict on the same model: both run
+// the same kernel over identical float64 values in identical order.
+type Predictor struct {
+	factors []*mat.Dense
+	core    *CoreTensor
+	dims    []int
+	workers int
+	pool    *sync.Pool
+}
+
+// predictScratch is the per-call workspace: one factor-row pointer per mode.
+type predictScratch struct {
+	rows [][]float64
+}
+
+// NewPredictor builds a concurrent-safe predictor from a fitted model,
+// snapshotting its factors and core. Batch prediction uses up to
+// runtime.GOMAXPROCS(0) workers; see WithWorkers to override.
+func NewPredictor(m *Model) *Predictor {
+	order := len(m.Factors)
+	factors := make([]*mat.Dense, order)
+	dims := make([]int, order)
+	for k, a := range m.Factors {
+		factors[k] = a.Clone()
+		dims[k] = a.Rows()
+	}
+	p := &Predictor{
+		factors: factors,
+		core:    m.Core.Clone(),
+		dims:    dims,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	p.pool = &sync.Pool{New: func() interface{} {
+		return &predictScratch{rows: make([][]float64, order)}
+	}}
+	return p
+}
+
+// WithWorkers returns a predictor that uses n workers for PredictBatch
+// (n < 1 means serial). The returned predictor shares the immutable factor
+// and core snapshots — and the scratch pool — with the receiver, so deriving
+// differently-parallel views of one model is free.
+func (p *Predictor) WithWorkers(n int) *Predictor {
+	if n < 1 {
+		n = 1
+	}
+	q := *p
+	q.workers = n
+	return &q
+}
+
+// Order returns the tensor order N.
+func (p *Predictor) Order() int { return len(p.factors) }
+
+// Dims returns a copy of the mode lengths I1..IN the predictor can address.
+func (p *Predictor) Dims() []int { return append([]int(nil), p.dims...) }
+
+// checkIndex panics with a descriptive message on a malformed multi-index;
+// serving callers get the precise coordinate instead of a bare slice-bounds
+// panic from deep inside the kernel.
+func (p *Predictor) checkIndex(idx []int) {
+	if len(idx) != len(p.dims) {
+		panic(fmt.Sprintf("core: Predict index has %d modes, model has %d", len(idx), len(p.dims)))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= p.dims[k] {
+			panic(fmt.Sprintf("core: Predict index %d out of range [0,%d) in mode %d", i, p.dims[k], k))
+		}
+	}
+}
+
+// Predict reconstructs the value at multi-index idx by Eq. (4). It is safe
+// for concurrent use and does not allocate in steady state.
+func (p *Predictor) Predict(idx []int) float64 {
+	p.checkIndex(idx)
+	s := p.pool.Get().(*predictScratch)
+	v := p.predictInto(s, idx)
+	p.pool.Put(s)
+	return v
+}
+
+func (p *Predictor) predictInto(s *predictScratch, idx []int) float64 {
+	rows := s.rows
+	for k, a := range p.factors {
+		rows[k] = a.Row(idx[k])
+	}
+	return predictWithRows(p.core, rows)
+}
+
+// minBatchParallel is the batch size below which the goroutine fan-out costs
+// more than it saves and PredictBatch runs serially.
+const minBatchParallel = 64
+
+// PredictBatch reconstructs every multi-index in idxs and returns the
+// predictions in matching order. Large batches are split across the
+// predictor's workers (static split: per-item cost is uniform, unlike the
+// skewed row updates of fitting); each worker reuses one pooled scratch for
+// its whole share. Safe for concurrent use alongside Predict and other
+// PredictBatch calls.
+func (p *Predictor) PredictBatch(idxs [][]int) []float64 {
+	out := make([]float64, len(idxs))
+	n := len(idxs)
+	if n == 0 {
+		return out
+	}
+	for _, idx := range idxs {
+		p.checkIndex(idx)
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minBatchParallel {
+		s := p.pool.Get().(*predictScratch)
+		for i, idx := range idxs {
+			out[i] = p.predictInto(s, idx)
+		}
+		p.pool.Put(s)
+		return out
+	}
+
+	scratches := make([]*predictScratch, workers)
+	for t := range scratches {
+		scratches[t] = p.pool.Get().(*predictScratch)
+	}
+	runIndexed(workers, ScheduleStatic, 1, n, func(tid, i int) {
+		out[i] = p.predictInto(scratches[tid], idxs[i])
+	})
+	for _, s := range scratches {
+		p.pool.Put(s)
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,8 +13,19 @@ import (
 )
 
 // Decompose runs Algorithm 2 (P-Tucker for Sparse Tensors) on the observed
-// entries of x and returns the fitted model. The variant (plain, Cache,
-// Approx) is selected by cfg.Method.
+// entries of x and returns the fitted model. It is DecomposeContext with a
+// background context — no cancellation.
+//
+// Deprecated: use DecomposeContext, which adds cancellation and the
+// Config.OnIteration observability hook. Decompose is kept as a thin
+// compatibility wrapper and behaves identically for configs without a hook.
+func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
+	return DecomposeContext(context.Background(), x, cfg)
+}
+
+// DecomposeContext runs Algorithm 2 (P-Tucker for Sparse Tensors) on the
+// observed entries of x and returns the fitted model. The variant (plain,
+// Cache, Approx) is selected by cfg.Method.
 //
 // The loop structure follows the paper exactly: initialize factors and core
 // with uniform random values in [0,1); repeatedly update every factor matrix
@@ -21,12 +34,24 @@ import (
 // stop on convergence or MaxIters; finally orthogonalize the factors by QR
 // and rotate the core by the R factors (Eqs. 7-8), which leaves the
 // reconstruction error unchanged.
-func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
-	if err := cfg.Validate(x.Dims()); err != nil {
+//
+// Cancellation is checked before each iteration and between the per-mode
+// factor updates inside one, so a cancelled fit stops within one iteration
+// and returns ctx.Err() (context.Canceled or context.DeadlineExceeded) with
+// a nil model. cfg.OnIteration, when set, observes every iteration and may
+// stop the fit early (see Config.OnIteration). cfg is never mutated; the
+// normalized copy produced by Validate is what the run (and the returned
+// Model.Config) uses.
+func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model, error) {
+	cfg, err := cfg.Validate(x.Dims())
+	if err != nil {
 		return nil, err
 	}
 	if x.NNZ() == 0 {
 		return nil, ErrEmptyTensor
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -55,15 +80,29 @@ func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
 		st.buildCache()
 	}
 
-	model := &Model{Factors: factors, Core: g, Config: cfg}
+	// The echoed Config drops the OnIteration hook: it is fit-time
+	// observability, not data (it is likewise excluded from serialization),
+	// and keeping it would pin the hook's captured scope for the lifetime of
+	// a served model.
+	modelCfg := cfg
+	modelCfg.OnIteration = nil
+	model := &Model{Factors: factors, Core: g, Config: modelCfg}
 
 	prevErr := math.Inf(1)
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 
 		// Lines 3: update factor matrices A(1)..A(N) by Algorithm 3.
+		// Cancellation is rechecked between modes so even a single slow
+		// iteration reacts to ctx within one factor update.
 		var work []int64
 		for mode := 0; mode < n; mode++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			work = st.updateFactor(mode)
 		}
 
@@ -86,14 +125,25 @@ func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
 			}
 		}
 
-		model.Trace = append(model.Trace, IterStats{
+		stats := IterStats{
 			Iter:    iter,
 			Error:   errNow,
 			Elapsed: time.Since(start),
 			CoreNNZ: g.NNZ(),
-		})
+		}
+		model.Trace = append(model.Trace, stats)
 		model.WorkPerThread = work
 		model.TrainError = errNow
+
+		// Observability hook: stream progress, allow early stop.
+		if cfg.OnIteration != nil {
+			if err := cfg.OnIteration(stats); err != nil {
+				if errors.Is(err, ErrStopIteration) {
+					break
+				}
+				return nil, fmt.Errorf("core: OnIteration hook failed at iteration %d: %w", iter, err)
+			}
+		}
 
 		// Line 7: stop when the error converges.
 		if cfg.Tol > 0 && prevErr < math.Inf(1) {

@@ -2,11 +2,11 @@
 // evaluation (Section IV) and discovery study (Section V): each experiment id
 // maps to a function that runs the corresponding workload sweep and prints
 // the same rows/series the paper reports. Default parameters are reduced to
-// single-core scale (see DESIGN.md §3); ScaleFull restores paper-sized
-// shapes.
+// single-core scale; ScaleFull restores paper-sized shapes.
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +38,10 @@ type Options struct {
 	Iters int
 	// Out receives progress lines during long sweeps; nil discards them.
 	Out io.Writer
+	// Ctx, when non-nil, bounds every P-Tucker fit inside the experiment:
+	// cancelling it aborts the sweep within one ALS iteration (the driver
+	// wires SIGINT here). nil means context.Background().
+	Ctx context.Context
 }
 
 func (o *Options) norm() {
@@ -49,6 +53,9 @@ func (o *Options) norm() {
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 }
 
@@ -136,15 +143,15 @@ func (m methodOutcome) timeLabel() string {
 	return fmt.Sprintf("%.4gs", m.TimePerIter.Seconds())
 }
 
-// runPTucker measures the P-Tucker family.
-func runPTucker(x *tensor.Coord, ranks []int, method core.Method, iters, threads int, seed int64) methodOutcome {
+// runPTucker measures the P-Tucker family under the sweep's context.
+func runPTucker(ctx context.Context, x *tensor.Coord, ranks []int, method core.Method, iters, threads int, seed int64) methodOutcome {
 	cfg := core.Defaults(ranks)
 	cfg.Method = method
 	cfg.MaxIters = iters
 	cfg.Tol = 0
 	cfg.Threads = threads
 	cfg.Seed = seed
-	m, err := core.Decompose(x, cfg)
+	m, err := core.DecomposeContext(ctx, x, cfg)
 	if err != nil {
 		return methodOutcome{Err: err}
 	}

@@ -30,7 +30,7 @@ func Fig5(opt Options) (*Result, error) {
 	cfg.Tol = 0
 	cfg.Threads = opt.Threads
 	cfg.Seed = opt.Seed
-	m, err := core.Decompose(d.X, cfg)
+	m, err := core.DecomposeContext(opt.Ctx, d.X, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +116,7 @@ func Fig8(opt Options) (*Result, error) {
 			cfg.Tol = 0
 			cfg.Threads = opt.Threads
 			cfg.Seed = opt.Seed
-			return core.Decompose(x, cfg)
+			return core.DecomposeContext(opt.Ctx, x, cfg)
 		}
 		plain, err := runVariant(core.PTucker)
 		if err != nil {
@@ -170,7 +170,7 @@ func Fig9(opt Options) (*Result, error) {
 		cfg.Tol = 0
 		cfg.Threads = opt.Threads
 		cfg.Seed = opt.Seed
-		return core.Decompose(d.X, cfg)
+		return core.DecomposeContext(opt.Ctx, d.X, cfg)
 	}
 	plain, err := run(core.PTucker)
 	if err != nil {

@@ -33,7 +33,10 @@ func Fig6a(opt Options) (*Result, error) {
 		x := synth.Uniform(rng, dims, nnz)
 		ranks := uniformRanks(n, j)
 
-		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		pt := runPTucker(opt.Ctx, x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
 		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
 		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
@@ -71,7 +74,10 @@ func Fig6b(opt Options) (*Result, error) {
 		x := synth.Uniform(rng, []int{iDim, iDim, iDim}, 10*iDim)
 		ranks := uniformRanks(n, min(j, iDim))
 
-		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		pt := runPTucker(opt.Ctx, x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
 		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
 		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
@@ -109,7 +115,10 @@ func Fig6c(opt Options) (*Result, error) {
 		x := synth.Uniform(rng, []int{iDim, iDim, iDim}, nnz)
 		ranks := uniformRanks(n, j)
 
-		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		pt := runPTucker(opt.Ctx, x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
 		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
 		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)
@@ -147,7 +156,10 @@ func Fig6d(opt Options) (*Result, error) {
 		progressf(opt, "fig6d: J=%d", j)
 		ranks := uniformRanks(n, j)
 
-		pt := runPTucker(x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		pt := runPTucker(opt.Ctx, x, ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		sh := runBaseline("S-HOT", x, ranks, opt.Iters, opt.Seed)
 		cs := runBaseline("Tucker-CSF", x, ranks, opt.Iters, opt.Seed)
 		wo := runWOpt(x, ranks, opt.Iters, opt.Seed)

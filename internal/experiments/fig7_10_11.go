@@ -22,8 +22,11 @@ func Fig7(opt Options) (*Result, error) {
 	values := map[string]float64{}
 	for _, d := range datasets {
 		progressf(opt, "fig7: %s %v nnz=%d", d.Name, d.X.Dims(), d.X.NNZ())
-		pt := runPTucker(d.X, d.Ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
-		ap := runPTucker(d.X, d.Ranks, core.PTuckerApprox, opt.Iters, opt.Threads, opt.Seed)
+		pt := runPTucker(opt.Ctx, d.X, d.Ranks, core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		ap := runPTucker(opt.Ctx, d.X, d.Ranks, core.PTuckerApprox, opt.Iters, opt.Threads, opt.Seed)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		sh := runBaseline("S-HOT", d.X, d.Ranks, opt.Iters, opt.Seed)
 		cs := runBaseline("Tucker-CSF", d.X, d.Ranks, opt.Iters, opt.Seed)
 		wo := runWOpt(d.X, d.Ranks, opt.Iters, opt.Seed)
@@ -69,7 +72,7 @@ func Fig10(opt Options) (*Result, error) {
 		cfg.Tol = 0
 		cfg.Threads = t
 		cfg.Seed = opt.Seed
-		m, err := core.Decompose(x, cfg)
+		m, err := core.DecomposeContext(opt.Ctx, x, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +98,7 @@ func Fig10(opt Options) (*Result, error) {
 		cfg.Threads = 4
 		cfg.Scheduling = s
 		cfg.Seed = opt.Seed
-		m, err := core.Decompose(skew, cfg)
+		m, err := core.DecomposeContext(opt.Ctx, skew, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -164,7 +167,10 @@ func Fig11(opt Options) (*Result, error) {
 		cfg.MaxIters = iters
 		cfg.Threads = opt.Threads
 		cfg.Seed = opt.Seed
-		pm, err := core.Decompose(train, cfg)
+		pm, err := core.DecomposeContext(opt.Ctx, train, cfg)
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err // cancelled: abort the sweep, don't grind through baselines
+		}
 		ptErr, ptRMSE := "err", "err"
 		if err == nil {
 			values[d.Name+"_ptucker_err"] = pm.TrainError

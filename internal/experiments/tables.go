@@ -32,7 +32,7 @@ func Table3(opt Options) (*Result, error) {
 		progressf(opt, "table3: |Ω|=%d", nnz)
 		rng := rand.New(rand.NewSource(opt.Seed))
 		x := synth.Uniform(rng, []int{iDim, iDim, iDim}, nnz)
-		out := runPTucker(x, uniformRanks(3, j), core.PTucker, opt.Iters, opt.Threads, opt.Seed)
+		out := runPTucker(opt.Ctx, x, uniformRanks(3, j), core.PTucker, opt.Iters, opt.Threads, opt.Seed)
 		if out.Err != nil {
 			return nil, out.Err
 		}
@@ -58,7 +58,7 @@ func Table3(opt Options) (*Result, error) {
 		cfg.Tol = 0
 		cfg.Threads = t
 		cfg.Seed = opt.Seed
-		m, err := core.Decompose(x, cfg)
+		m, err := core.DecomposeContext(opt.Ctx, x, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +73,7 @@ func Table3(opt Options) (*Result, error) {
 	cacheCfg.Tol = 0
 	cacheCfg.Threads = 2
 	cacheCfg.Seed = opt.Seed
-	cm, err := core.Decompose(x, cacheCfg)
+	cm, err := core.DecomposeContext(opt.Ctx, x, cacheCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +117,7 @@ func Table5(opt Options) (*Result, error) {
 	cfg.MaxIters = 8
 	cfg.Threads = opt.Threads
 	cfg.Seed = opt.Seed
-	m, err := core.Decompose(d.X, cfg)
+	m, err := core.DecomposeContext(opt.Ctx, d.X, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +181,7 @@ func Table6(opt Options) (*Result, error) {
 	cfg.MaxIters = 8
 	cfg.Threads = opt.Threads
 	cfg.Seed = opt.Seed
-	m, err := core.Decompose(d.X, cfg)
+	m, err := core.DecomposeContext(opt.Ctx, d.X, cfg)
 	if err != nil {
 		return nil, err
 	}

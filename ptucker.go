@@ -14,16 +14,26 @@
 //	x := ptucker.NewTensor([]int{users, movies, hours})
 //	x.Append([]int{u, m, h}, rating)            // repeat for observed cells
 //	cfg := ptucker.Defaults([]int{10, 10, 10})  // core ranks J1..J3
-//	model, err := ptucker.Decompose(x, cfg)
+//	model, err := ptucker.DecomposeContext(ctx, x, cfg)
 //	pred := model.Predict([]int{u2, m2, h2})    // estimate a missing cell
+//
+// Fitting is context-aware and observable: DecomposeContext honors
+// cancellation every ALS iteration, and Config.OnIteration streams
+// per-iteration statistics and can stop a fit early. A fitted Model can be
+// persisted with SaveModel / LoadModel (a versioned binary format whose
+// round trip is bit-identical) and served concurrently through a Predictor,
+// whose PredictBatch fans large batches out across worker goroutines.
 //
 // The subpackages under internal/ contain the substrates (dense linear
 // algebra, sparse tensors, the baseline methods of the paper's evaluation)
 // and the experiment harness that regenerates every table and figure; see
-// DESIGN.md and EXPERIMENTS.md.
+// README.md for a tour of the API and `go doc repro/internal/experiments`
+// for the experiment index.
 package ptucker
 
 import (
+	"context"
+	"io"
 	"math/rand"
 
 	"repro/internal/core"
@@ -54,8 +64,18 @@ func WriteTensorFile(path string, t *Tensor) error { return tensor.WriteFile(pat
 type Config = core.Config
 
 // Model is a fitted Tucker factorization: orthonormal factor matrices, the
-// core tensor, and per-iteration statistics.
+// core tensor, and per-iteration statistics. It implements io.WriterTo; see
+// SaveModel and LoadModel for file persistence.
 type Model = core.Model
+
+// IterStats carries one ALS iteration's statistics to Config.OnIteration
+// hooks and the Model.Trace.
+type IterStats = core.IterStats
+
+// ErrStopIteration is the sentinel a Config.OnIteration hook returns to end
+// a fit early without signalling failure: the model fitted so far is
+// finalized and returned with a nil error.
+var ErrStopIteration = core.ErrStopIteration
 
 // Method selects the P-Tucker variant.
 type Method = core.Method
@@ -93,10 +113,46 @@ func Defaults(ranks []int) Config {
 	return cfg
 }
 
-// Decompose factorizes the observed entries of x per Algorithm 2 and returns
-// the fitted model. All randomness derives from cfg.Seed; equal inputs give
-// bit-identical models at any thread count.
+// DecomposeContext factorizes the observed entries of x per Algorithm 2 and
+// returns the fitted model. All randomness derives from cfg.Seed; equal
+// inputs give bit-identical models at any thread count.
+//
+// Cancellation is honored every ALS iteration: a cancelled fit stops within
+// one iteration and returns ctx.Err() with a nil model. cfg.OnIteration,
+// when set, observes every iteration and can stop the fit early by
+// returning ErrStopIteration. cfg is never mutated.
+func DecomposeContext(ctx context.Context, x *Tensor, cfg Config) (*Model, error) {
+	return core.DecomposeContext(ctx, x, cfg)
+}
+
+// Decompose factorizes x without cancellation or progress hooks.
+//
+// Deprecated: use DecomposeContext. Decompose remains as a compatibility
+// wrapper equivalent to DecomposeContext(context.Background(), x, cfg).
 func Decompose(x *Tensor, cfg Config) (*Model, error) { return core.Decompose(x, cfg) }
+
+// SaveModel writes a fitted model to path in the versioned binary format,
+// atomically (write to a temp file, then rename). A model saved on one
+// machine and loaded on another yields bit-identical predictions.
+func SaveModel(path string, m *Model) error { return core.SaveModel(path, m) }
+
+// LoadModel reads a model previously written by SaveModel.
+func LoadModel(path string) (*Model, error) { return core.LoadModel(path) }
+
+// ReadModel decodes a model from a stream previously produced by
+// Model.WriteTo (the streaming counterpart of LoadModel).
+func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
+
+// Predictor is an immutable, goroutine-safe serving handle over a fitted
+// model: Predict reconstructs one cell without allocating in steady state
+// (per-goroutine scratch comes from a sync.Pool), and PredictBatch fans a
+// batch out across workers. Build one with NewPredictor.
+type Predictor = core.Predictor
+
+// NewPredictor snapshots a fitted model into a Predictor that is safe for
+// concurrent use from any number of goroutines. Its predictions are
+// bit-identical to m.Predict.
+func NewPredictor(m *Model) *Predictor { return core.NewPredictor(m) }
 
 // Concept is a discovered cluster over one mode's indices (Section V,
 // Table V).

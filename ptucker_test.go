@@ -1,9 +1,12 @@
 package ptucker
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -109,6 +112,112 @@ func TestFacadeSchedulingConstants(t *testing.T) {
 	}
 	if ScheduleDynamic == ScheduleStatic {
 		t.Fatal("scheduling constants must differ")
+	}
+}
+
+// TestFacadeFitSaveServe drives the production workflow end to end through
+// the public API: fit with context + progress hook, save, load, and serve the
+// loaded model concurrently — predictions must be bit-identical throughout.
+func TestFacadeFitSaveServe(t *testing.T) {
+	x := ratingTensor(7)
+	cfg := Defaults([]int{3, 3, 3})
+	cfg.MaxIters = 6
+	cfg.Threads = 2
+	cfg.Seed = 7
+	progress := 0
+	cfg.OnIteration = func(s IterStats) error {
+		progress++
+		if s.Iter != progress {
+			t.Errorf("hook iteration %d out of order (want %d)", s.Iter, progress)
+		}
+		return nil
+	}
+
+	m, err := DecomposeContext(context.Background(), x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Fatal("OnIteration never called")
+	}
+
+	path := filepath.Join(t.TempDir(), "model.ptkm")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPredictor(loaded)
+	idxs := make([][]int, 300)
+	rng := rand.New(rand.NewSource(77))
+	for i := range idxs {
+		idxs[i] = []int{rng.Intn(40), rng.Intn(30), rng.Intn(12)}
+	}
+	batch := p.PredictBatch(idxs)
+	for i, idx := range idxs {
+		if math.Float64bits(batch[i]) != math.Float64bits(m.Predict(idx)) {
+			t.Fatalf("served prediction at %v diverges from the fitted model", idx)
+		}
+	}
+
+	// 8 goroutines serving concurrently (the -race acceptance scenario).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := p.PredictBatch(idxs)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(batch[i]) {
+					t.Error("concurrent batch prediction diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFacadeCancellation(t *testing.T) {
+	x := ratingTensor(8)
+	cfg := Defaults([]int{3, 3, 3})
+	cfg.MaxIters = 100
+	cfg.Tol = 0
+	cfg.Threads = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.OnIteration = func(s IterStats) error {
+		if s.Iter == 2 {
+			cancel()
+		}
+		return nil
+	}
+	m, err := DecomposeContext(ctx, x, cfg)
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", m, err)
+	}
+}
+
+func TestFacadeEarlyStop(t *testing.T) {
+	x := ratingTensor(9)
+	cfg := Defaults([]int{3, 3, 3})
+	cfg.MaxIters = 100
+	cfg.Tol = 0
+	cfg.Threads = 2
+	cfg.OnIteration = func(s IterStats) error {
+		if s.Iter == 2 {
+			return ErrStopIteration
+		}
+		return nil
+	}
+	m, err := DecomposeContext(context.Background(), x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace) != 2 {
+		t.Fatalf("early stop ran %d iterations, want 2", len(m.Trace))
 	}
 }
 

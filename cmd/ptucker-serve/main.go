@@ -1,0 +1,103 @@
+// Command ptucker-serve puts a saved P-Tucker model (a .ptkm file written by
+// `ptucker -save` or ptucker.SaveModel) behind an HTTP JSON API.
+//
+// Endpoints: POST /v1/predict, /v1/predict-batch, /v1/recommend, /v1/reload;
+// GET /healthz, /metrics. See `go doc repro/internal/serve` for the request
+// and response shapes.
+//
+// The model is hot-swappable: POST /v1/reload (optionally naming a new model
+// file) or send SIGHUP to re-read the -model file in place; in-flight
+// requests finish on the snapshot they started with. SIGINT/SIGTERM drain
+// the listener gracefully before exiting.
+//
+// Usage:
+//
+//	ptucker-serve -model model.ptkm -addr :8080
+//	curl -s localhost:8080/v1/predict -d '{"index":[3,7,1]}'
+//	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10}'
+//	curl -s -X POST localhost:8080/v1/reload -d '{}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "saved model file to serve (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
+	)
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := serve.New(serve.Options{
+		ModelPath: *model,
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+	})
+	if err != nil {
+		log.Fatalf("ptucker-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// SIGHUP hot-reloads the -model file; the first SIGINT/SIGTERM drains
+	// the listener, a second one kills the process the usual way.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := s.Reload(""); err != nil {
+				log.Printf("ptucker-serve: SIGHUP reload failed: %v (still serving the old model)", err)
+				continue
+			}
+			log.Printf("ptucker-serve: SIGHUP reloaded %s", *model)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		stop() // restore default signal handling: a second signal is fatal
+		log.Printf("ptucker-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ptucker-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("ptucker-serve: serving %s on %s (workers=%d, max-batch=%d)",
+		*model, *addr, *workers, *maxBatch)
+	err = httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ptucker-serve: %v", err)
+	}
+	// ListenAndServe returns the moment Shutdown begins; wait for the drain
+	// to finish, then stop the coalescer — no handler is mid-submit when
+	// queued work is failed with ErrServerClosed.
+	<-shutdownDone
+	s.Close()
+	log.Printf("ptucker-serve: bye")
+}

@@ -19,7 +19,11 @@ type IterStats struct {
 	// Elapsed is the wall-clock duration of the iteration (factor updates +
 	// error computation + truncation, i.e. lines 3-6 of Algorithm 2).
 	Elapsed time.Duration
-	// CoreNNZ is |G| after this iteration (shrinks under P-Tucker-Approx).
+	// CoreNNZ is |G| at the moment Error was measured: after this
+	// iteration's factor updates and before its truncation. Error and
+	// CoreNNZ therefore always describe the same model state; under
+	// P-Tucker-Approx, iteration i reports the core left by iteration
+	// i-1's truncation, so the series still traces the shrinkage.
 	CoreNNZ int
 }
 
@@ -46,9 +50,16 @@ type Model struct {
 	// P-Tucker, plus the cache table O(|Ω|·|G|) for P-Tucker-Cache. It is the
 	// quantity Table III and Figures 8(b)/10(b) report.
 	IntermediateBytes int64
-	// WorkPerThread is the number of rows processed by each worker during
-	// the final iteration's factor updates, for workload-balance reporting.
+	// WorkPerThread is the number of factor rows processed by each worker
+	// across all N modes of the final iteration (its entries sum to Σ_n I_n),
+	// for workload-balance reporting (Figure 10 / Section IV-D).
 	WorkPerThread []int64
+	// FinalCoreNNZ is |G| when iteration ended — after the last iteration's
+	// truncation, before the QR finalization (whose rotation re-densifies
+	// the core). For P-Tucker-Approx it is the shrunken core size Figure 9
+	// reports; Trace entries record only pre-truncation sizes, so this is
+	// the one place the fully truncated |G| survives.
+	FinalCoreNNZ int
 }
 
 // Order returns the tensor order N.

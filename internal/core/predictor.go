@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/mat"
 )
+
+// ErrBadIndex reports a prediction index that does not address a cell of the
+// served model: wrong number of modes, or a coordinate outside [0, In). It is
+// the sentinel network-facing callers match on to map malformed input to a
+// client error (HTTP 400) instead of a process crash.
+var ErrBadIndex = errors.New("core: invalid prediction index")
 
 // Predictor is the serving-side view of a fitted Model: an immutable handle
 // that reconstructs tensor cells by Eq. (4), safe for concurrent use by any
@@ -75,17 +82,28 @@ func (p *Predictor) Order() int { return len(p.factors) }
 // Dims returns a copy of the mode lengths I1..IN the predictor can address.
 func (p *Predictor) Dims() []int { return append([]int(nil), p.dims...) }
 
-// checkIndex panics with a descriptive message on a malformed multi-index;
-// serving callers get the precise coordinate instead of a bare slice-bounds
-// panic from deep inside the kernel.
-func (p *Predictor) checkIndex(idx []int) {
+// ValidateIndex reports whether idx addresses a cell of the served model:
+// exactly one coordinate per mode, each within [0, In). A non-nil result
+// wraps ErrBadIndex and names the offending mode and bound.
+func (p *Predictor) ValidateIndex(idx []int) error {
 	if len(idx) != len(p.dims) {
-		panic(fmt.Sprintf("core: Predict index has %d modes, model has %d", len(idx), len(p.dims)))
+		return fmt.Errorf("%w: index has %d modes, model has %d", ErrBadIndex, len(idx), len(p.dims))
 	}
 	for k, i := range idx {
 		if i < 0 || i >= p.dims[k] {
-			panic(fmt.Sprintf("core: Predict index %d out of range [0,%d) in mode %d", i, p.dims[k], k))
+			return fmt.Errorf("%w: index %d out of range [0,%d) in mode %d", ErrBadIndex, i, p.dims[k], k)
 		}
+	}
+	return nil
+}
+
+// checkIndex panics with a descriptive message on a malformed multi-index;
+// in-process callers get the precise coordinate instead of a bare
+// slice-bounds panic from deep inside the kernel. Network-facing callers
+// should use PredictChecked / ValidateIndex instead.
+func (p *Predictor) checkIndex(idx []int) {
+	if err := p.ValidateIndex(idx); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -97,6 +115,19 @@ func (p *Predictor) Predict(idx []int) float64 {
 	v := p.predictInto(s, idx)
 	p.pool.Put(s)
 	return v
+}
+
+// PredictChecked is Predict for untrusted input: a malformed index returns a
+// wrapped ErrBadIndex instead of panicking, so a serving layer can answer a
+// bad request with a client error while the process keeps running.
+func (p *Predictor) PredictChecked(idx []int) (float64, error) {
+	if err := p.ValidateIndex(idx); err != nil {
+		return 0, err
+	}
+	s := p.pool.Get().(*predictScratch)
+	v := p.predictInto(s, idx)
+	p.pool.Put(s)
+	return v, nil
 }
 
 func (p *Predictor) predictInto(s *predictScratch, idx []int) float64 {
@@ -118,13 +149,33 @@ const minBatchParallel = 64
 // its whole share. Safe for concurrent use alongside Predict and other
 // PredictBatch calls.
 func (p *Predictor) PredictBatch(idxs [][]int) []float64 {
+	for _, idx := range idxs {
+		p.checkIndex(idx)
+	}
+	return p.predictBatch(idxs)
+}
+
+// PredictBatchChecked is PredictBatch for untrusted input: every index is
+// validated up front and the first malformed one is reported as a wrapped
+// ErrBadIndex naming its position, instead of a panic. Validation happens
+// exactly once — the scoring pass trusts it — so checked batches cost the
+// same as PredictBatch.
+func (p *Predictor) PredictBatchChecked(idxs [][]int) ([]float64, error) {
+	for i, idx := range idxs {
+		if err := p.ValidateIndex(idx); err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return p.predictBatch(idxs), nil
+}
+
+// predictBatch is the shared scoring pass; indices must already be
+// validated.
+func (p *Predictor) predictBatch(idxs [][]int) []float64 {
 	out := make([]float64, len(idxs))
 	n := len(idxs)
 	if n == 0 {
 		return out
-	}
-	for _, idx := range idxs {
-		p.checkIndex(idx)
 	}
 
 	workers := p.workers

@@ -98,12 +98,19 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		// Lines 3: update factor matrices A(1)..A(N) by Algorithm 3.
 		// Cancellation is rechecked between modes so even a single slow
 		// iteration reacts to ctx within one factor update.
-		var work []int64
+		// Per-thread row counts accumulate across every mode of the
+		// iteration (updateFactor may return fewer slots than cfg.Threads
+		// when a mode has fewer rows than workers), so WorkPerThread sums
+		// to Σ_n I_n — the quantity the Figure 10 balance report needs —
+		// rather than only the last mode's rows.
+		work := make([]int64, cfg.Threads)
 		for mode := 0; mode < n; mode++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			work = st.updateFactor(mode)
+			for t, c := range st.updateFactor(mode) {
+				work[t] += c
+			}
 		}
 
 		// Extension (off by default): element-wise core refinement.
@@ -116,6 +123,10 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 
 		// Line 4: reconstruction error by Eq. (5).
 		errNow := reconstructionError(x, factors, g, cfg.Threads)
+		// |G| is captured at the same instant as Error — after the factor
+		// updates, before this iteration's truncation — so an IterStats
+		// always pairs an error with the core that produced it.
+		coreNNZ := g.NNZ()
 
 		// Lines 5-6: P-Tucker-Approx truncates noisy core entries.
 		if cfg.Method == PTuckerApprox {
@@ -129,7 +140,7 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 			Iter:    iter,
 			Error:   errNow,
 			Elapsed: time.Since(start),
-			CoreNNZ: g.NNZ(),
+			CoreNNZ: coreNNZ,
 		}
 		model.Trace = append(model.Trace, stats)
 		model.WorkPerThread = work
@@ -158,6 +169,10 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		}
 		prevErr = errNow
 	}
+
+	// |G| after the last truncation, recorded before finalize's rotation
+	// re-densifies the core.
+	model.FinalCoreNNZ = g.NNZ()
 
 	// Lines 8-11: orthogonalize factors, rotate core.
 	if err := finalize(factors, g); err != nil {

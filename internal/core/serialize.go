@@ -22,7 +22,8 @@ import (
 // summary statistics — followed by a CRC-32 of the stream so truncation or
 // corruption is detected at load time rather than at serve time.
 //
-// Layout (version 1):
+// Layout (version 2; v2 appended FinalCoreNNZ to the summary — v1 streams
+// are still readable, with FinalCoreNNZ defaulting to 0):
 //
 //	magic "PTKM" | version u32 | config | N factors | core | trace | summary | crc32 u32
 //
@@ -32,7 +33,7 @@ import (
 
 const (
 	modelMagic   = "PTKM"
-	modelVersion = 1
+	modelVersion = 2
 
 	// maxModelSlice bounds every length prefix read from a model stream so a
 	// corrupted or hostile file cannot trigger a huge allocation before the
@@ -180,6 +181,7 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw.write(boolByte(m.Converged))
 	bw.write(m.TrainError)
 	bw.write(m.IntermediateBytes)
+	bw.write(int64(m.FinalCoreNNZ))
 	bw.write(uint64(len(m.WorkPerThread)))
 	bw.write(m.WorkPerThread)
 
@@ -208,8 +210,8 @@ func ReadModel(r io.Reader) (*Model, error) {
 	}
 	var version uint32
 	br.read(&version)
-	if br.err == nil && version != modelVersion {
-		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrModelVersion, version, modelVersion)
+	if br.err == nil && (version < 1 || version > modelVersion) {
+		return nil, fmt.Errorf("%w: got v%d, want v1..v%d", ErrModelVersion, version, modelVersion)
 	}
 
 	var c Config
@@ -284,6 +286,11 @@ func ReadModel(r io.Reader) (*Model, error) {
 	m.Converged = readBool(br)
 	br.read(&m.TrainError)
 	br.read(&m.IntermediateBytes)
+	if version >= 2 {
+		var finalCoreNNZ int64
+		br.read(&finalCoreNNZ)
+		m.FinalCoreNNZ = int(finalCoreNNZ)
+	}
 	nWork := br.readLen("work-per-thread length")
 	if br.err == nil {
 		m.WorkPerThread = make([]int64, nWork)

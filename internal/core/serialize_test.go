@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -77,7 +80,7 @@ func TestModelWriteToReadRoundTrip(t *testing.T) {
 		}
 	}
 	if back.TrainError != m.TrainError || back.Converged != m.Converged ||
-		back.IntermediateBytes != m.IntermediateBytes {
+		back.IntermediateBytes != m.IntermediateBytes || back.FinalCoreNNZ != m.FinalCoreNNZ {
 		t.Fatal("summary statistics changed across round trip")
 	}
 	if len(back.Config.Ranks) != len(m.Config.Ranks) || back.Config.Lambda != m.Config.Lambda ||
@@ -109,6 +112,87 @@ func TestReadModelRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadModel(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty stream: expected error")
+	}
+}
+
+// writeModelV1 serializes m in the version-1 layout (no FinalCoreNNZ in the
+// summary), so the reader's backward compatibility can be regression-tested
+// without a checked-in binary fixture.
+func writeModelV1(m *Model, buf *bytes.Buffer) error {
+	crc := crc32.NewIEEE()
+	bw := &binWriter{w: io.MultiWriter(buf, crc)}
+
+	bw.write([]byte(modelMagic))
+	bw.write(uint32(1))
+
+	c := m.Config
+	bw.writeInts(c.Ranks)
+	bw.write(c.Lambda)
+	bw.write(int64(c.MaxIters))
+	bw.write(c.Tol)
+	bw.write(int64(c.Threads))
+	bw.write(int64(c.Method))
+	bw.write(c.TruncationRate)
+	bw.write(int64(c.Scheduling))
+	bw.write(c.Seed)
+	bw.write(boolByte(c.UpdateCore))
+	bw.write(int64(c.ChunkSize))
+	bw.write(c.SampleRate)
+
+	bw.write(uint64(len(m.Factors)))
+	for _, a := range m.Factors {
+		bw.write(uint64(a.Rows()))
+		bw.write(uint64(a.Cols()))
+		bw.write(a.Data())
+	}
+
+	g := m.Core
+	bw.writeInts(g.dims)
+	bw.write(uint64(g.NNZ()))
+	for _, i := range g.idx {
+		bw.write(uint32(i))
+	}
+	bw.write(g.val)
+
+	bw.write(uint64(len(m.Trace)))
+	for _, it := range m.Trace {
+		bw.write(int64(it.Iter))
+		bw.write(it.Error)
+		bw.write(int64(it.Elapsed))
+		bw.write(int64(it.CoreNNZ))
+	}
+
+	bw.write(boolByte(m.Converged))
+	bw.write(m.TrainError)
+	bw.write(m.IntermediateBytes)
+	bw.write(uint64(len(m.WorkPerThread)))
+	bw.write(m.WorkPerThread)
+
+	if bw.err != nil {
+		return bw.err
+	}
+	return binary.Write(buf, binary.LittleEndian, crc.Sum32())
+}
+
+// Models saved by the previous build (format v1) must stay loadable: the
+// reader accepts v1 and defaults the appended FinalCoreNNZ to 0.
+func TestReadModelAcceptsVersion1(t *testing.T) {
+	m, idxs := fittedModel(t, 4)
+	var buf bytes.Buffer
+	if err := writeModelV1(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if back.FinalCoreNNZ != 0 {
+		t.Fatalf("v1 FinalCoreNNZ = %d want default 0", back.FinalCoreNNZ)
+	}
+	for _, idx := range idxs {
+		if math.Float64bits(m.Predict(idx)) != math.Float64bits(back.Predict(idx)) {
+			t.Fatalf("prediction at %v changed across v1 round trip", idx)
+		}
 	}
 }
 

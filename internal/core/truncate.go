@@ -103,12 +103,22 @@ func (st *state) truncateCore() {
 		k = width - 1
 	}
 
-	// Rank entries by R(β) descending (Algorithm 4 line 3).
+	// Rank entries by R(β) descending (Algorithm 4 line 3), breaking ties
+	// by entry index so the dropped set is a pure function of the R values.
+	// An unstable comparison on ties would let the sort implementation pick
+	// which tied entries die, violating the "equal seeds are bit-for-bit
+	// reproducible" guarantee for P-Tucker-Approx.
 	order := make([]int, width)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return r[order[a]] > r[order[b]] })
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := r[order[a]], r[order[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
 
 	drop := make([]bool, width)
 	for i := 0; i < k; i++ {

@@ -206,7 +206,7 @@ func Fig9(opt Options) (*Result, error) {
 			"approx_final_err":   approx.TrainError,
 			"approx_first_iter":  firstApprox,
 			"approx_last_iter":   lastApprox,
-			"approx_final_coreg": float64(approx.Trace[last].CoreNNZ),
+			"approx_final_coreg": float64(approx.FinalCoreNNZ),
 		},
 	}, nil
 }

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchIndexes samples n valid multi-indices for the benchmark model.
+func benchIndexes(b *testing.B, p *core.Predictor, n int) [][]int {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	dims := p.Dims()
+	idxs := make([][]int, n)
+	for i := range idxs {
+		idx := make([]int, len(dims))
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+		}
+		idxs[i] = idx
+	}
+	return idxs
+}
+
+// BenchmarkServeCoalescedPredict drives concurrent single predictions
+// through the micro-batching coalescer — the hot path of /v1/predict under
+// load — without HTTP overhead, so the measurement isolates batching.
+func BenchmarkServeCoalescedPredict(b *testing.B) {
+	m := fitModel(b, 7)
+	s, err := New(Options{Model: m, MaxBatch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	idxs := benchIndexes(b, core.NewPredictor(m), 1024)
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.coal.predict(context.Background(), idxs[i%len(idxs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(s.met.coalesced.Load())/float64(max(1, s.met.flushes.Load())), "preds/flush")
+}
+
+// BenchmarkServeHTTPPredict measures the full stack: HTTP round trip, JSON
+// decode, coalescer, kernel, JSON encode.
+func BenchmarkServeHTTPPredict(b *testing.B) {
+	m := fitModel(b, 7)
+	s, err := New(Options{Model: m, MaxBatch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	idxs := benchIndexes(b, core.NewPredictor(m), 256)
+	bodies := make([]string, len(idxs))
+	for i, idx := range idxs {
+		raw, _ := json.Marshal(predictRequest{Index: idx})
+		bodies[i] = string(raw)
+	}
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var pr predictResponse
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				b.Error(err)
+				resp.Body.Close()
+				return
+			}
+			resp.Body.Close()
+			i++
+		}
+	})
+}
+
+// BenchmarkServeRecommend measures the contracted top-K path of
+// /v1/recommend at the Recommender level: one core contraction plus a dense
+// candidate sweep per query.
+func BenchmarkServeRecommend(b *testing.B) {
+	m := fitModel(b, 7)
+	s, err := New(Options{Model: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	snap := s.snapshot()
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := snap.rec.TopK([]int{3, 5, 2}, 0, 10); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

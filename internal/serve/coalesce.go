@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// coalescer groups concurrent single predictions into PredictBatch calls.
+//
+// The dispatch loop blocks for the first request, then greedily drains
+// whatever else is already queued (up to maxBatch) without waiting — so an
+// idle server answers a lone request with zero added latency, while a busy
+// server naturally accumulates a batch during each in-progress flush and
+// amortizes the kernel's per-call overhead across it. Every flush scores
+// its whole batch against one snapshot grabbed at flush time: a model
+// reload between two flushes is therefore atomic from the client's view,
+// and no batch ever mixes models.
+type coalescer struct {
+	ch       chan *predCall
+	done     chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+	maxBatch int
+	snap     func() *snapshot
+	met      *metrics
+}
+
+// predCall is one queued prediction; out is buffered so the dispatcher never
+// blocks on a caller that gave up (its context expired).
+type predCall struct {
+	idx []int
+	out chan predAnswer
+}
+
+type predAnswer struct {
+	val float64
+	err error
+}
+
+func newCoalescer(maxBatch int, snap func() *snapshot, met *metrics) *coalescer {
+	return &coalescer{
+		ch:       make(chan *predCall, 4*maxBatch),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		maxBatch: maxBatch,
+		snap:     snap,
+		met:      met,
+	}
+}
+
+func (c *coalescer) start() { go c.run() }
+
+// stop ends the dispatch loop and fails whatever is still queued with
+// ErrServerClosed. Idempotent. Callers must stop the HTTP listener first so
+// no handler is concurrently submitting.
+func (c *coalescer) stop() {
+	c.stopOnce.Do(func() { close(c.done) })
+	<-c.stopped
+}
+
+func (c *coalescer) run() {
+	defer close(c.stopped)
+	batch := make([]*predCall, 0, c.maxBatch)
+	for {
+		batch = batch[:0]
+		select {
+		case <-c.done:
+			c.drainClosed()
+			return
+		case first := <-c.ch:
+			batch = append(batch, first)
+		}
+	fill:
+		for len(batch) < c.maxBatch {
+			select {
+			case call := <-c.ch:
+				batch = append(batch, call)
+			default:
+				break fill
+			}
+		}
+		c.flush(batch)
+	}
+}
+
+// flush scores one batch against a single snapshot. The common all-valid
+// case validates each index exactly once (PredictBatchChecked's pass);
+// only when the batch contains a malformed index does flush fall back to
+// per-item validation so each caller gets its own error.
+func (c *coalescer) flush(batch []*predCall) {
+	snap := c.snap()
+	idxs := make([][]int, len(batch))
+	for i, call := range batch {
+		idxs[i] = call.idx
+	}
+	if vals, err := snap.pred.PredictBatchChecked(idxs); err == nil {
+		for i, call := range batch {
+			call.out <- predAnswer{val: vals[i]}
+		}
+		c.recordFlush(len(batch))
+		return
+	}
+
+	valid := batch[:0]
+	idxs = idxs[:0]
+	for _, call := range batch {
+		if err := snap.pred.ValidateIndex(call.idx); err != nil {
+			call.out <- predAnswer{err: err}
+			continue
+		}
+		valid = append(valid, call)
+		idxs = append(idxs, call.idx)
+	}
+	if len(valid) == 0 {
+		return
+	}
+	vals := snap.pred.PredictBatch(idxs)
+	for i, call := range valid {
+		call.out <- predAnswer{val: vals[i]}
+	}
+	c.recordFlush(len(valid))
+}
+
+func (c *coalescer) recordFlush(n int) {
+	c.met.flushes.Add(1)
+	c.met.coalesced.Add(int64(n))
+	c.met.predictions.Add(int64(n))
+}
+
+// drainClosed empties the queue after done closed, failing each waiter.
+func (c *coalescer) drainClosed() {
+	for {
+		select {
+		case call := <-c.ch:
+			call.out <- predAnswer{err: ErrServerClosed}
+		default:
+			return
+		}
+	}
+}
+
+// predict submits one index and waits for its batch to flush. A cancelled
+// ctx abandons the wait (the buffered answer channel lets the dispatcher
+// complete the entry without blocking).
+func (c *coalescer) predict(ctx context.Context, idx []int) (float64, error) {
+	call := &predCall{idx: idx, out: make(chan predAnswer, 1)}
+	select {
+	case c.ch <- call:
+	case <-c.done:
+		return 0, ErrServerClosed
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case ans := <-call.out:
+		return ans.val, ans.err
+	case <-c.done:
+		// The dispatcher may have answered concurrently with shutdown;
+		// prefer the real answer if it is already there.
+		select {
+		case ans := <-call.out:
+			return ans.val, ans.err
+		default:
+			return 0, ErrServerClosed
+		}
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

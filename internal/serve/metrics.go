@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// endpoints is the fixed label set of the per-endpoint counters.
+var endpoints = []string{"predict", "predict-batch", "recommend", "reload"}
+
+// metrics holds the server's counters. The zero value is ready to use; the
+// per-endpoint maps are built once on first touch and read-only afterwards,
+// so the hot path is a map lookup plus an atomic add.
+type metrics struct {
+	once sync.Once
+	req  map[string]*atomic.Int64
+	errs map[string]*atomic.Int64
+
+	predictions atomic.Int64 // cells scored, all paths
+	flushes     atomic.Int64 // coalescer batches executed
+	coalesced   atomic.Int64 // single predictions served via the coalescer
+	reloads     atomic.Int64 // successful model swaps
+}
+
+func (m *metrics) init() {
+	m.once.Do(func() {
+		m.req = make(map[string]*atomic.Int64, len(endpoints))
+		m.errs = make(map[string]*atomic.Int64, len(endpoints))
+		for _, e := range endpoints {
+			m.req[e] = new(atomic.Int64)
+			m.errs[e] = new(atomic.Int64)
+		}
+	})
+}
+
+// requests returns the request counter for endpoint.
+func (m *metrics) requests(endpoint string) *atomic.Int64 {
+	m.init()
+	return m.req[endpoint]
+}
+
+// errors returns the error counter for endpoint.
+func (m *metrics) errors(endpoint string) *atomic.Int64 {
+	m.init()
+	return m.errs[endpoint]
+}
+
+// handler renders the counters in the Prometheus text exposition format,
+// plus gauges describing the current snapshot.
+func (m *metrics) handler(snap func() *snapshot) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		m.init()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+		labels := append([]string(nil), endpoints...)
+		sort.Strings(labels)
+		fmt.Fprintln(w, "# HELP ptucker_requests_total Requests received, by endpoint.")
+		fmt.Fprintln(w, "# TYPE ptucker_requests_total counter")
+		for _, e := range labels {
+			fmt.Fprintf(w, "ptucker_requests_total{endpoint=%q} %d\n", e, m.req[e].Load())
+		}
+		fmt.Fprintln(w, "# HELP ptucker_errors_total Requests answered with an error, by endpoint.")
+		fmt.Fprintln(w, "# TYPE ptucker_errors_total counter")
+		for _, e := range labels {
+			fmt.Fprintf(w, "ptucker_errors_total{endpoint=%q} %d\n", e, m.errs[e].Load())
+		}
+		fmt.Fprintln(w, "# HELP ptucker_predictions_total Tensor cells scored across all paths.")
+		fmt.Fprintln(w, "# TYPE ptucker_predictions_total counter")
+		fmt.Fprintf(w, "ptucker_predictions_total %d\n", m.predictions.Load())
+		fmt.Fprintln(w, "# HELP ptucker_coalesced_batches_total Coalescer flushes executed.")
+		fmt.Fprintln(w, "# TYPE ptucker_coalesced_batches_total counter")
+		fmt.Fprintf(w, "ptucker_coalesced_batches_total %d\n", m.flushes.Load())
+		fmt.Fprintln(w, "# HELP ptucker_coalesced_predictions_total Single predictions served through the coalescer.")
+		fmt.Fprintln(w, "# TYPE ptucker_coalesced_predictions_total counter")
+		fmt.Fprintf(w, "ptucker_coalesced_predictions_total %d\n", m.coalesced.Load())
+		fmt.Fprintln(w, "# HELP ptucker_reloads_total Successful model reloads.")
+		fmt.Fprintln(w, "# TYPE ptucker_reloads_total counter")
+		fmt.Fprintf(w, "ptucker_reloads_total %d\n", m.reloads.Load())
+
+		s := snap()
+		fmt.Fprintln(w, "# HELP ptucker_model_loaded_timestamp_seconds Unix time the serving snapshot was installed.")
+		fmt.Fprintln(w, "# TYPE ptucker_model_loaded_timestamp_seconds gauge")
+		fmt.Fprintf(w, "ptucker_model_loaded_timestamp_seconds %d\n", s.loadedAt.Unix())
+		fmt.Fprintln(w, "# HELP ptucker_model_order Tensor order of the served model.")
+		fmt.Fprintln(w, "# TYPE ptucker_model_order gauge")
+		fmt.Fprintf(w, "ptucker_model_order %d\n", s.order)
+	}
+}

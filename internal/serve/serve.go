@@ -1,0 +1,390 @@
+// Package serve puts a fitted P-Tucker model behind a socket: an HTTP JSON
+// API over a core.Predictor / core.Recommender pair, with atomic hot model
+// reload and request micro-batching.
+//
+// Endpoints:
+//
+//	POST /v1/predict        {"index":[i1,...,iN]}            → {"value":v}
+//	POST /v1/predict-batch  {"indexes":[[...],[...]]}        → {"values":[...]}
+//	POST /v1/recommend      {"query":[...],"mode":m,"k":K}   → {"recs":[{"index":i,"score":s},...]}
+//	POST /v1/reload         {"model":"path"} (path optional) → {"model":...,"loaded_at":...}
+//	GET  /healthz                                            → {"status":"ok",...}
+//	GET  /metrics                                            → Prometheus text format
+//
+// The served model lives in an atomic.Pointer snapshot. A reload (HTTP or
+// SIGHUP, see cmd/ptucker-serve) loads and validates the new model off to
+// the side, then swaps the pointer; requests that already grabbed the old
+// snapshot finish on it untouched, so a reload never drops or corrupts
+// in-flight work. Malformed input is answered with 400 via the predictor's
+// non-panicking PredictChecked/ValidateIndex paths — a bad request can not
+// crash the process.
+//
+// Concurrent single predictions are coalesced: /v1/predict submits to a
+// dispatcher that drains whatever is queued (up to MaxBatch) and scores it
+// with one PredictBatch call, trading nothing on an idle server (a lone
+// request flushes immediately) for fewer, larger kernel passes under load.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// snapshot bundles everything derived from one loaded model. It is immutable
+// after construction; the server swaps whole snapshots, never fields.
+type snapshot struct {
+	pred     *core.Predictor
+	rec      *core.Recommender
+	path     string // file the model came from ("" if served from memory)
+	loadedAt time.Time
+	order    int
+	dims     []int
+}
+
+func newSnapshot(m *core.Model, path string, workers int, now time.Time) *snapshot {
+	p := core.NewPredictor(m)
+	if workers > 0 {
+		p = p.WithWorkers(workers)
+	}
+	return &snapshot{
+		pred:     p,
+		rec:      p.Recommender(),
+		path:     path,
+		loadedAt: now,
+		order:    p.Order(),
+		dims:     p.Dims(),
+	}
+}
+
+// Options configures a Server.
+type Options struct {
+	// ModelPath is the model file to serve and the default source for
+	// reloads. Required unless Model is set.
+	ModelPath string
+	// Model, when non-nil, is served directly (tests, embedded use);
+	// ModelPath then only names the default reload source.
+	Model *core.Model
+	// Workers is the PredictBatch fan-out (0 = GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many queued single predictions one coalescer flush
+	// scores together (0 = DefaultMaxBatch; 1 disables coalescing).
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
+const DefaultMaxBatch = 256
+
+// ErrServerClosed is returned to predictions caught in flight by Close.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Server is the HTTP serving layer over one hot-swappable model snapshot.
+// All methods are safe for concurrent use.
+type Server struct {
+	opts Options
+
+	cur  atomic.Pointer[snapshot]
+	coal *coalescer
+	met  metrics
+
+	// reloadMu serializes reloads so two concurrent /v1/reload calls cannot
+	// interleave load-then-swap and resurrect an older model.
+	reloadMu sync.Mutex
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New builds a Server from opts, loading the model from ModelPath unless a
+// Model is supplied directly. The returned server is ready to serve; call
+// Close when done to stop the coalescer.
+func New(opts Options) (*Server, error) {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{opts: opts, now: time.Now}
+
+	m := opts.Model
+	// srcPath is the provenance of the initial snapshot: "" when the model
+	// was handed over in memory (ModelPath, if set, is then only the
+	// default reload source — that file was never read).
+	srcPath := ""
+	if m == nil {
+		if opts.ModelPath == "" {
+			return nil, errors.New("serve: Options needs a ModelPath or a Model")
+		}
+		var err error
+		m, err = core.LoadModel(opts.ModelPath)
+		if err != nil {
+			return nil, err
+		}
+		srcPath = opts.ModelPath
+	}
+	s.cur.Store(newSnapshot(m, srcPath, opts.Workers, s.now()))
+
+	// MaxBatch 1 disables coalescing entirely: handlePredict scores on the
+	// caller's goroutine and no dispatcher is spun up.
+	if opts.MaxBatch > 1 {
+		s.coal = newCoalescer(opts.MaxBatch, s.snapshot, &s.met)
+		s.coal.start()
+	}
+	return s, nil
+}
+
+// snapshot returns the current model snapshot; callers use one snapshot for
+// the whole request so a concurrent reload cannot mix models mid-answer.
+func (s *Server) snapshot() *snapshot { return s.cur.Load() }
+
+// Reload loads a model from path (or from the server's configured ModelPath
+// when path is empty) and atomically swaps it in. In-flight requests finish
+// on the snapshot they started with. On any error the old model keeps
+// serving.
+func (s *Server) Reload(path string) error {
+	_, err := s.reload(path)
+	return err
+}
+
+// reload is Reload returning the snapshot this call installed, so the
+// /v1/reload response describes the caller's own swap even when another
+// reload lands immediately after.
+func (s *Server) reload(path string) (*snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	src := path
+	if src == "" {
+		src = s.opts.ModelPath
+	}
+	if src == "" {
+		return nil, errors.New("serve: no model path to reload from")
+	}
+	m, err := core.LoadModel(src)
+	if err != nil {
+		return nil, err
+	}
+	snap := newSnapshot(m, src, s.opts.Workers, s.now())
+	s.cur.Store(snap)
+	s.met.reloads.Add(1)
+	return snap, nil
+}
+
+// Close stops the coalescer. Idempotent. Shut the http.Server down first
+// (so no handler is mid-submit), then Close; predictions still queued at
+// that point are answered with ErrServerClosed.
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.stop()
+	}
+}
+
+// Handler returns the route table as an http.Handler, suitable for
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/predict-batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.met.handler(s.snapshot))
+	return mux
+}
+
+// --- request/response shapes ---
+
+type predictRequest struct {
+	Index []int `json:"index"`
+}
+
+type predictResponse struct {
+	Value float64 `json:"value"`
+}
+
+type predictBatchRequest struct {
+	Indexes [][]int `json:"indexes"`
+}
+
+type predictBatchResponse struct {
+	Values []float64 `json:"values"`
+}
+
+type recommendRequest struct {
+	Query []int `json:"query"`
+	Mode  int   `json:"mode"`
+	K     int   `json:"k"`
+}
+
+type recommendResponse struct {
+	Recs []core.Rec `json:"recs"`
+}
+
+type reloadRequest struct {
+	Model string `json:"model"`
+}
+
+type statusResponse struct {
+	Status   string `json:"status"`
+	Model    string `json:"model,omitempty"`
+	Order    int    `json:"order"`
+	Dims     []int  `json:"dims"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.met.requests("predict").Add(1)
+	var req predictRequest
+	if !s.post(w, r, "predict", &req) {
+		return
+	}
+	var v float64
+	var err error
+	if s.coal == nil {
+		// Coalescing disabled: score on the caller's goroutine so predict
+		// traffic stays as parallel as the HTTP server itself.
+		v, err = s.snapshot().pred.PredictChecked(req.Index)
+		if err == nil {
+			s.met.predictions.Add(1)
+		}
+	} else {
+		v, err = s.coal.predict(r.Context(), req.Index)
+	}
+	if err != nil {
+		s.clientOrServerError(w, "predict", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Value: v})
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.requests("predict-batch").Add(1)
+	var req predictBatchRequest
+	if !s.post(w, r, "predict-batch", &req) {
+		return
+	}
+	snap := s.snapshot()
+	vals, err := snap.pred.PredictBatchChecked(req.Indexes)
+	if err != nil {
+		s.badRequest(w, "predict-batch", err)
+		return
+	}
+	s.met.predictions.Add(int64(len(vals)))
+	writeJSON(w, http.StatusOK, predictBatchResponse{Values: vals})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.met.requests("recommend").Add(1)
+	var req recommendRequest
+	if !s.post(w, r, "recommend", &req) {
+		return
+	}
+	snap := s.snapshot()
+	recs, err := snap.rec.TopK(req.Query, req.Mode, req.K)
+	if err != nil {
+		s.badRequest(w, "recommend", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recommendResponse{Recs: recs})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.met.requests("reload").Add(1)
+	var req reloadRequest
+	if !s.post(w, r, "reload", &req) {
+		return
+	}
+	snap, err := s.reload(req.Model)
+	if err != nil {
+		s.met.errors("reload").Add(1)
+		// Any failure to load a path the request named — missing,
+		// unreadable, not a model file — is the caller's mistake (400),
+		// as is asking to reload a server that has no model path at all
+		// (served from memory; no such request can succeed). Failures of
+		// the server's own configured model path are genuine 5xx so
+		// operators can alert on them.
+		status := http.StatusInternalServerError
+		if req.Model != "" || s.opts.ModelPath == "" {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse{
+		Status:   "reloaded",
+		Model:    snap.path,
+		Order:    snap.order,
+		Dims:     snap.dims,
+		LoadedAt: snap.loadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	snap := s.snapshot()
+	writeJSON(w, http.StatusOK, statusResponse{
+		Status:   "ok",
+		Model:    snap.path,
+		Order:    snap.order,
+		Dims:     snap.dims,
+		LoadedAt: snap.loadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+// --- plumbing ---
+
+// post enforces the method, decodes the JSON body into dst, and answers the
+// request itself on failure. It reports whether the handler should continue.
+func (s *Server) post(w http.ResponseWriter, r *http.Request, endpoint string, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.badRequest(w, endpoint, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, endpoint string, err error) {
+	s.met.errors(endpoint).Add(1)
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// clientOrServerError maps a prediction error to 400 for malformed input and
+// 503 for shutdown/cancellation.
+func (s *Server) clientOrServerError(w http.ResponseWriter, endpoint string, err error) {
+	s.met.errors(endpoint).Add(1)
+	status := http.StatusServiceUnavailable
+	if errors.Is(err, core.ErrBadIndex) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -145,14 +145,39 @@ func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
 
 // Predictor is an immutable, goroutine-safe serving handle over a fitted
 // model: Predict reconstructs one cell without allocating in steady state
-// (per-goroutine scratch comes from a sync.Pool), and PredictBatch fans a
-// batch out across workers. Build one with NewPredictor.
+// (per-goroutine scratch comes from a sync.Pool), PredictBatch fans a batch
+// out across workers, and PredictChecked returns ErrBadIndex on malformed
+// input instead of panicking — the entry point for untrusted network
+// traffic. Build one with NewPredictor.
 type Predictor = core.Predictor
 
 // NewPredictor snapshots a fitted model into a Predictor that is safe for
 // concurrent use from any number of goroutines. Its predictions are
 // bit-identical to m.Predict.
 func NewPredictor(m *Model) *Predictor { return core.NewPredictor(m) }
+
+// ErrBadIndex is returned by Predictor.PredictChecked when an index does
+// not address a cell of the served model (wrong number of modes, or a
+// coordinate out of range), and by Recommender.TopK when a fixed coordinate
+// is out of range.
+var ErrBadIndex = core.ErrBadIndex
+
+// ErrBadQuery is returned by Recommender.TopK for a malformed query shape:
+// wrong number of modes, a free mode outside [0,N), or k < 1.
+var ErrBadQuery = core.ErrBadQuery
+
+// Recommender answers top-K queries over one mode of a fitted model: fix
+// every mode but one (e.g. (user, ·, time)) and get the K highest-predicted
+// candidates of the free mode. It contracts the core with the fixed factor
+// rows once per query and scores all candidates as a dense sweep with a
+// bounded heap — O(|G|·N + I·J) instead of the O(I·|G|·N) of calling
+// Predict per candidate. Derive one with Predictor.Recommender(); it shares
+// the predictor's immutable snapshot and is safe for concurrent use.
+type Recommender = core.Recommender
+
+// Rec is one recommendation returned by Recommender.TopK: a candidate index
+// of the free mode and its predicted value.
+type Rec = core.Rec
 
 // Concept is a discovered cluster over one mode's indices (Section V,
 // Table V).

@@ -1,20 +1,26 @@
 // Command ptucker-serve puts a saved P-Tucker model (a .ptkm file written by
 // `ptucker -save` or ptucker.SaveModel) behind an HTTP JSON API.
 //
-// Endpoints: POST /v1/predict, /v1/predict-batch, /v1/recommend, /v1/reload;
-// GET /healthz, /metrics. See `go doc repro/internal/serve` for the request
-// and response shapes.
+// Endpoints: POST /v1/predict, /v1/predict-batch, /v1/recommend,
+// /v1/observe, /v1/reload; GET /healthz, /metrics. See `go doc
+// repro/internal/serve` for the request and response shapes.
 //
 // The model is hot-swappable: POST /v1/reload (optionally naming a new model
-// file) or send SIGHUP to re-read the -model file in place; in-flight
-// requests finish on the snapshot they started with. SIGINT/SIGTERM drain
-// the listener gracefully before exiting.
+// file), send SIGHUP, or run with -watch to poll the -model file and reload
+// whenever it changes; in-flight requests finish on the snapshot they
+// started with. The model also learns online: POST /v1/observe appends
+// observations and folds brand-new indices in as fresh factor rows, and
+// -refit-after N triggers a background warm refit every N observations.
+// Request bodies are capped at -max-body bytes (413) and each request is
+// bounded by -timeout (503). SIGINT/SIGTERM drain the listener gracefully
+// before exiting.
 //
 // Usage:
 //
-//	ptucker-serve -model model.ptkm -addr :8080
+//	ptucker-serve -model model.ptkm -addr :8080 -refit-after 1000 -watch 5s
 //	curl -s localhost:8080/v1/predict -d '{"index":[3,7,1]}'
-//	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10}'
+//	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10,"exclude":[7]}'
+//	curl -s localhost:8080/v1/observe -d '{"observations":[{"index":[50,7,1],"value":0.9}]}'
 //	curl -s -X POST localhost:8080/v1/reload -d '{}'
 package main
 
@@ -35,10 +41,14 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "", "saved model file to serve (required)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
+		model      = flag.String("model", "", "saved model file to serve (required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
+		refitAfter = flag.Int("refit-after", 0, "background warm refit after this many /v1/observe observations (0 disables)")
+		maxBody    = flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes on /v1/* (larger bodies get 413; <0 disables)")
+		timeout    = flag.Duration("timeout", serve.DefaultTimeout, "per-request handling bound on /v1/* (exceeded requests get 503; <0 disables)")
+		watch      = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -48,9 +58,12 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Options{
-		ModelPath: *model,
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
+		ModelPath:    *model,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		RefitAfter:   *refitAfter,
+		MaxBodyBytes: *maxBody,
+		Timeout:      *timeout,
 	})
 	if err != nil {
 		log.Fatalf("ptucker-serve: %v", err)
@@ -74,6 +87,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -watch: deploy-by-copying-a-file; the poller hot-reloads on mtime/size
+	// change with the same snapshot-swap discipline as /v1/reload and SIGHUP.
+	if *watch > 0 {
+		go func() {
+			if err := s.WatchModel(ctx, *watch); err != nil && ctx.Err() == nil {
+				log.Printf("ptucker-serve: model watcher stopped: %v", err)
+			}
+		}()
+		log.Printf("ptucker-serve: watching %s every %v", *model, *watch)
+	}
 
 	shutdownDone := make(chan struct{})
 	go func() {

@@ -1,0 +1,166 @@
+// Online learning end-to-end: fit a rating model, serve it over HTTP, then
+// watch a cold-start user appear — their ratings are POSTed to /v1/observe,
+// folded into the served model as a fresh factor row (one row-wise
+// least-squares solve, no refit), and /v1/recommend immediately ranks items
+// for them, excluding what they already rated. Finally enough traffic
+// accumulates to trip the background warm refit and the rebalanced model is
+// swapped in atomically.
+//
+// Run with: go run ./examples/online
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro" // package ptucker: the public facade
+	"repro/internal/serve"
+)
+
+const (
+	users, items, contexts = 40, 30, 6
+)
+
+// rate is the planted taste structure: matching user/item halves rate high.
+func rate(rng *rand.Rand, u, i int) float64 {
+	r := 0.2
+	if (u < users/2) == (i < items/2) {
+		r = 0.9
+	}
+	return r + 0.05*rng.NormFloat64()
+}
+
+func post(url string, body interface{}, out interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Fit the initial model on the first `users` users' ratings.
+	x := ptucker.NewTensor([]int{users, items, contexts})
+	for x.NNZ() < 1800 {
+		u, i, c := rng.Intn(users), rng.Intn(items), rng.Intn(contexts)
+		x.MustAppend([]int{u, i, c}, rate(rng, u, i))
+	}
+	cfg := ptucker.Defaults([]int{3, 3, 2})
+	cfg.Seed = 1
+	fitter := ptucker.NewFitter(cfg)
+	model, err := fitter.Fit(context.Background(), x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted %v in %d iterations (error %.4f)\n", x.Dims(), len(model.Trace), model.TrainError)
+
+	// Serve it. RefitAfter is tiny so this demo trips a background refit.
+	s, err := serve.New(serve.Options{Model: model, RefitAfter: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	fmt.Println("serving on", ts.URL)
+
+	// A cold-start user walks in: index `users` (the next new row of mode
+	// 0) with a handful of ratings — loves the high-half items, shrugs at a
+	// couple of low-half ones. One /v1/observe folds them into the served
+	// model as a single row-wise least-squares solve.
+	newUser := users
+	rated := []int{16, 18, 20, 22, 25, 2, 5} // items the new user rated
+	var obs []ptucker.Observation
+	for _, i := range rated {
+		v := 0.9 // high-half favorites
+		if i < items/2 {
+			v = 0.2 // low-half: not their taste
+		}
+		obs = append(obs, ptucker.Observation{
+			Index: []int{newUser, i, rng.Intn(contexts)},
+			Value: v + 0.05*rng.NormFloat64(),
+		})
+	}
+	var or struct {
+		Appended int   `json:"appended"`
+		Folded   []any `json:"folded"`
+		Dims     []int `json:"dims"`
+	}
+	if err := post(ts.URL+"/v1/observe", map[string]any{"observations": obs}, &or); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %d ratings for cold-start user %d: folded %d new row(s), served dims now %v\n",
+		len(obs), newUser, len(or.Folded), or.Dims)
+
+	// Recommend for them immediately — no refit, no redeploy. Exclude what
+	// they already rated so the answer is new items, not an echo.
+	var rr struct {
+		Recs []ptucker.Rec `json:"recs"`
+	}
+	req := map[string]any{"query": []int{newUser, 0, 1}, "mode": 1, "k": 5, "exclude": rated}
+	if err := post(ts.URL+"/v1/recommend", req, &rr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 items for user %d (excluding rated %v):\n", newUser, rated)
+	for _, r := range rr.Recs {
+		half := "low"
+		if r.Index >= items/2 {
+			half = "high"
+		}
+		fmt.Printf("  item %2d (taste half: %s) score %.3f\n", r.Index, half, r.Score)
+	}
+
+	// Keep observing: regular in-range ratings accumulate until the
+	// background warm refit trips and the rebalanced model is swapped in.
+	var last struct {
+		Pending        int  `json:"pending"`
+		RefitTriggered bool `json:"refit_triggered"`
+	}
+	for n := 0; n < 50; n += 10 {
+		var batch []ptucker.Observation
+		for j := 0; j < 10; j++ {
+			u, i, c := rng.Intn(users), rng.Intn(items), rng.Intn(contexts)
+			batch = append(batch, ptucker.Observation{Index: []int{u, i, c}, Value: rate(rng, u, i)})
+		}
+		if err := post(ts.URL+"/v1/observe", map[string]any{"observations": batch}, &last); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("streamed 50 more observations; background refit triggered: %v\n", last.RefitTriggered)
+	time.Sleep(300 * time.Millisecond) // let the refit publish
+
+	var health struct {
+		Dims     []int  `json:"dims"`
+		LoadedAt string `json:"loaded_at"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served snapshot after refit: dims %v, installed %s\n", health.Dims, health.LoadedAt)
+}

@@ -5,6 +5,7 @@ package core
 // scheduling, the sampling extension, and the parallel error pass.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -140,5 +141,37 @@ func BenchmarkErrorPass(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.ReconstructionError(x)
+	}
+}
+
+// BenchmarkFoldIn tracks the online fold-in hot path: one row-wise
+// least-squares solve (O(nnz_i·J²·|G|)) plus the copy-on-write row append,
+// per new entity admitted to a served model.
+func BenchmarkFoldIn(b *testing.B) {
+	x := benchTensor(b)
+	cfg := benchConfig(PTucker)
+	f := NewFitter(cfg)
+	if _, err := f.Fit(context.Background(), x); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const obsPerRow = 20
+	items := make([]int, obsPerRow*b.N)
+	ctxs := make([]int, obsPerRow*b.N)
+	for i := range items {
+		items[i] = rng.Intn(x.Dim(1))
+		ctxs[i] = rng.Intn(x.Dim(2))
+	}
+	obs := make([]Observation, obsPerRow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newRow := x.Dim(0) + i
+		for j := range obs {
+			obs[j] = Observation{Index: []int{newRow, items[i*obsPerRow+j], ctxs[i*obsPerRow+j]}, Value: 0.5}
+		}
+		if _, err := f.FoldIn(0, obs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

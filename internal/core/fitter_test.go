@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// TestFitterFitMatchesDecompose: Fitter.Fit is the same phases as the
+// one-shot API — equal seed, bit-identical model, for every variant.
+func TestFitterFitMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := plantedTensor(rng, []int{14, 12, 9}, []int{3, 3, 2}, 700, 0.05)
+	for _, method := range []Method{PTucker, PTuckerCache, PTuckerApprox} {
+		cfg := smallConfig([]int{3, 3, 2})
+		cfg.Method = method
+		if method == PTuckerApprox {
+			cfg.TruncationRate = 0.2
+		}
+		want, err := DecomposeContext(context.Background(), x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewFitter(cfg).Fit(context.Background(), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !modelsBitIdentical(want, got) {
+			t.Fatalf("%v: Fitter.Fit differs from DecomposeContext", method)
+		}
+	}
+}
+
+// foldInObs builds observations for the next new row of mode 0, rating
+// existing coordinates of the other modes.
+func foldInObs(x *tensor.Coord, rng *rand.Rand, count int) []Observation {
+	newRow := x.Dim(0)
+	obs := make([]Observation, count)
+	for i := range obs {
+		obs[i] = Observation{
+			Index: []int{newRow, rng.Intn(x.Dim(1)), rng.Intn(x.Dim(2))},
+			Value: rng.Float64(),
+		}
+	}
+	return obs
+}
+
+// TestFoldInMatchesColdFitRowUpdate is the acceptance cross-check: the
+// folded-in row must be bit-identical to what the canonical cold-fit row
+// update (Algorithm 3, updateRow) produces for that row when all other
+// factors are held fixed — fold-in is that one solve, nothing more.
+func TestFoldInMatchesColdFitRowUpdate(t *testing.T) {
+	for _, method := range []Method{PTucker, PTuckerCache} {
+		rng := rand.New(rand.NewSource(21))
+		x := plantedTensor(rng, []int{15, 12, 8}, []int{3, 3, 2}, 700, 0.05)
+		cfg := smallConfig([]int{3, 3, 2})
+		cfg.Method = method
+		f := NewFitter(cfg)
+		if _, err := f.Fit(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+		before := f.Snapshot()
+
+		obs := foldInObs(x, rng, 6)
+		newRow, err := f.FoldIn(0, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if newRow != x.Dim(0) {
+			t.Fatalf("new row = %d, want %d", newRow, x.Dim(0))
+		}
+		got := f.Snapshot().Factors[0].Row(newRow)
+
+		// Reference: grow the tensor and the pre-fold factors by hand, then
+		// run the shared cold-fit row update on the new row.
+		x2 := x.Clone()
+		x2.GrowMode(0, newRow+1)
+		for _, o := range obs {
+			x2.MustAppend(o.Index, o.Value)
+		}
+		vcfg, err := cfg.Validate(x2.Dims())
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors := make([]*mat.Dense, len(before.Factors))
+		for k, a := range before.Factors {
+			factors[k] = a.Clone()
+		}
+		grown := mat.NewDense(newRow+1, factors[0].Cols())
+		copy(grown.Data(), factors[0].Data())
+		factors[0] = grown
+		st := &state{
+			x:       x2,
+			omega:   tensor.NewModeIndex(x2),
+			factors: factors,
+			core:    before.Core.Clone(),
+			cfg:     vcfg,
+		}
+		st.updateRow(0, newRow, newWorkspace(x2.Order(), vcfg.Ranks[0]))
+		want := grown.Row(newRow)
+
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("%v: fold-in row differs from cold-fit row update at %d: %v vs %v", method, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestFoldInCopyOnWrite: snapshots taken before a fold-in keep the old
+// shape and bits; the fold grows only the fitter's own state.
+func TestFoldInCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := plantedTensor(rng, []int{12, 10, 8}, []int{3, 3, 2}, 500, 0.05)
+	cfg := smallConfig([]int{3, 3, 2})
+	f := NewFitter(cfg)
+	if _, err := f.Fit(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Snapshot()
+	beforeBits := append([]float64(nil), before.Factors[0].Data()...)
+
+	if _, err := f.FoldIn(0, foldInObs(x, rng, 5)); err != nil {
+		t.Fatal(err)
+	}
+	after := f.Snapshot()
+
+	if before.Factors[0].Rows() != 12 {
+		t.Fatalf("pre-fold snapshot grew to %d rows", before.Factors[0].Rows())
+	}
+	for i, v := range before.Factors[0].Data() {
+		if math.Float64bits(v) != math.Float64bits(beforeBits[i]) {
+			t.Fatalf("pre-fold snapshot mutated at %d", i)
+		}
+	}
+	if after.Factors[0].Rows() != 13 {
+		t.Fatalf("post-fold snapshot has %d rows, want 13", after.Factors[0].Rows())
+	}
+	if got := f.Dims(); got[0] != 13 {
+		t.Fatalf("fitter dims = %v, want mode 0 grown to 13", got)
+	}
+	// The grown model predicts for the new row without panicking.
+	p := NewPredictor(after)
+	if _, err := p.PredictChecked([]int{12, 0, 0}); err != nil {
+		t.Fatalf("prediction on folded row: %v", err)
+	}
+}
+
+// TestFoldInValidation: malformed fold-ins are rejected before any state
+// changes, and operations on an unfitted Fitter say so.
+func TestFoldInValidation(t *testing.T) {
+	f := NewFitter(smallConfig([]int{3, 3, 2}))
+	if _, err := f.FoldIn(0, []Observation{{Index: []int{0, 0, 0}, Value: 1}}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("FoldIn before Fit: err = %v, want ErrNotFitted", err)
+	}
+	if err := f.Observe([]Observation{{Index: []int{0, 0, 0}, Value: 1}}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("Observe before Fit: err = %v, want ErrNotFitted", err)
+	}
+	if _, err := f.Refit(context.Background(), nil); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("Refit before Fit: err = %v, want ErrNotFitted", err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	x := plantedTensor(rng, []int{10, 8, 6}, []int{2, 2, 2}, 300, 0.05)
+	if _, err := f.Fit(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mode int
+		obs  []Observation
+	}{
+		{"bad mode", 3, []Observation{{Index: []int{10, 0, 0}}}},
+		{"no observations", 0, nil},
+		{"not next row", 0, []Observation{{Index: []int{12, 0, 0}}}},
+		{"existing row", 0, []Observation{{Index: []int{3, 0, 0}}}},
+		{"other coord out of range", 0, []Observation{{Index: []int{10, 8, 0}}}},
+		{"wrong order", 0, []Observation{{Index: []int{10, 0}}}},
+	}
+	for _, tc := range cases {
+		if _, err := f.FoldIn(tc.mode, tc.obs); !errors.Is(err, ErrBadObservation) {
+			t.Fatalf("%s: err = %v, want ErrBadObservation", tc.name, err)
+		}
+		if d := f.Dims(); d[0] != 10 || f.NNZ() != 300 {
+			t.Fatalf("%s: failed fold-in mutated state: dims %v nnz %d", tc.name, d, f.NNZ())
+		}
+	}
+	if err := f.Observe([]Observation{{Index: []int{0, 0, 0}}, {Index: []int{0, 99, 0}}}); !errors.Is(err, ErrBadObservation) {
+		t.Fatalf("Observe out of range: err = %v", err)
+	}
+	if f.NNZ() != 300 {
+		t.Fatalf("failed Observe appended anyway: nnz %d", f.NNZ())
+	}
+}
+
+// TestRefitWarmStartConvergesFaster: after fitting 90% of the data, a
+// warm-started Refit over the union reaches the cold full-data fit's final
+// error in a small fraction of the cold fit's iterations — the point of
+// reusing the factors instead of re-randomizing.
+func TestRefitWarmStartConvergesFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	full := plantedTensor(rng, []int{20, 16, 10}, []int{3, 3, 2}, 2500, 0.01)
+	cfg := Defaults([]int{3, 3, 2})
+	cfg.Seed = 5
+	cfg.Threads = 2
+	cfg.MaxIters = 30
+	cfg.Tol = 0 // fixed budget; the comparison is iterations-to-error
+
+	cold, err := DecomposeContext(context.Background(), full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIters := len(cold.Trace)
+
+	// First 90% of entries as the initial fit, the rest as the delta.
+	nTrain := full.NNZ() * 9 / 10
+	train := tensor.NewCoord(full.Dims())
+	var delta []Observation
+	for e := 0; e < full.NNZ(); e++ {
+		idx := append([]int(nil), full.Index(e)...)
+		if e < nTrain {
+			train.MustAppend(idx, full.Value(e))
+		} else {
+			delta = append(delta, Observation{Index: idx, Value: full.Value(e)})
+		}
+	}
+
+	f := NewFitter(cfg)
+	if _, err := f.Fit(context.Background(), train); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := f.Refit(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Iterations the warm refit needed to match what the cold fit achieved
+	// with its whole budget.
+	reached := -1
+	for _, it := range warm.Trace {
+		if it.Error <= cold.TrainError {
+			reached = it.Iter
+			break
+		}
+	}
+	if reached < 0 {
+		t.Fatalf("warm refit never reached the cold fit's error %.6f (best %.6f)",
+			cold.TrainError, warm.TrainError)
+	}
+	if reached*4 > coldIters {
+		t.Fatalf("warm refit needed %d iterations to reach the cold fit's %d-iteration error — expected a fraction", reached, coldIters)
+	}
+	if f.NNZ() != full.NNZ() {
+		t.Fatalf("fitter accumulated %d observations, want %d", f.NNZ(), full.NNZ())
+	}
+}
+
+// TestResumeFitterDeterminism is the online-learning reproducibility
+// regression: equal resumed models plus an equal operation sequence yield
+// bit-identical snapshots.
+func TestResumeFitterDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x := plantedTensor(rng, []int{14, 12, 8}, []int{3, 3, 2}, 700, 0.05)
+	cfg := smallConfig([]int{3, 3, 2})
+	base, err := DecomposeContext(context.Background(), x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsRng := rand.New(rand.NewSource(62))
+	fold := foldInObs(x, obsRng, 5)
+	var delta []Observation
+	for i := 0; i < 40; i++ {
+		delta = append(delta, Observation{
+			Index: []int{obsRng.Intn(14), obsRng.Intn(12), obsRng.Intn(8)},
+			Value: obsRng.Float64(),
+		})
+	}
+
+	run := func() *Model {
+		f, err := ResumeFitter(base, base.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.FoldIn(0, fold); err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Refit(context.Background(), delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if !modelsBitIdentical(a, b) {
+		t.Fatal("equal resumed models + equal operation sequence produced different snapshots")
+	}
+}
+
+// TestResumeFitterKeepsUntouchedPredictions: a delta-only refit must not
+// wreck the parts of the model the delta never touched — rows with no new
+// observations keep their values through the sweep (keepEmptyRows), and the
+// final QR rotation is prediction-preserving, so cells whose every
+// coordinate is untouched predict as before (up to rotation rounding).
+func TestResumeFitterKeepsUntouchedPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x := plantedTensor(rng, []int{16, 12, 8}, []int{3, 3, 2}, 800, 0.05)
+	cfg := smallConfig([]int{3, 3, 2})
+	base, err := DecomposeContext(context.Background(), x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ResumeFitter(base, base.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta touches only user 0, item 0, context 0.
+	delta := []Observation{
+		{Index: []int{0, 0, 0}, Value: 0.5},
+		{Index: []int{0, 0, 0}, Value: 0.6},
+	}
+	after, err := f.Refit(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cell far away from the delta in every mode.
+	cell := []int{9, 7, 5}
+	want := base.Predict(cell)
+	got := after.Predict(cell)
+	if math.Abs(want-got) > 1e-8*math.Max(1, math.Abs(want)) {
+		t.Fatalf("untouched cell %v changed: %v -> %v", cell, want, got)
+	}
+}
+
+// TestResumeFitterValidation: shape mismatches are rejected.
+func TestResumeFitterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	x := plantedTensor(rng, []int{10, 8, 6}, []int{2, 2, 2}, 300, 0.05)
+	base, err := DecomposeContext(context.Background(), x, smallConfig([]int{2, 2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base.Config
+	cfg.Ranks = []int{3, 2, 2}
+	if _, err := ResumeFitter(base, cfg); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("rank mismatch: err = %v, want ErrResumeMismatch", err)
+	}
+	// Nil ranks adopt the model's.
+	cfg = base.Config
+	cfg.Ranks = nil
+	f, err := ResumeFitter(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsBitIdentical(base, f.Snapshot()) {
+		t.Fatal("ResumeFitter snapshot differs from the resumed model")
+	}
+}

@@ -43,21 +43,42 @@ func Decompose(x *tensor.Coord, cfg Config) (*Model, error) {
 // normalized copy produced by Validate is what the run (and the returned
 // Model.Config) uses.
 func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model, error) {
+	m, _, err := decompose(ctx, x, cfg)
+	return m, err
+}
+
+// decompose is the full fitting pipeline — init, sweep, finalize — returning
+// both the model and the run's mutable state so a Fitter can keep fitting
+// (warm-start Refit, FoldIn) where a one-shot DecomposeContext discards it.
+func decompose(ctx context.Context, x *tensor.Coord, cfg Config) (*Model, *state, error) {
 	cfg, err := cfg.Validate(x.Dims())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if x.NNZ() == 0 {
-		return nil, ErrEmptyTensor
+		return nil, nil, ErrEmptyTensor
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
+	st := newState(x, cfg)
+	model := st.newModel()
+	if err := st.sweep(ctx, model); err != nil {
+		return nil, nil, err
+	}
+	if err := st.finish(model); err != nil {
+		return nil, nil, err
+	}
+	return model, st, nil
+}
+
+// newState performs the init phase: random factors and core from cfg.Seed
+// (Algorithm 2 line 1), the per-mode inverted index, and the Pres cache for
+// P-Tucker-Cache. cfg must already be validated/normalized.
+func newState(x *tensor.Coord, cfg Config) *state {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := x.Order()
-
-	// Step 1: random initialization of factors and core (Algorithm 2 line 1).
 	factors := make([]*mat.Dense, n)
 	for k := 0; k < n; k++ {
 		a := mat.NewDense(x.Dim(k), cfg.Ranks[k])
@@ -67,31 +88,47 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		}
 		factors[k] = a
 	}
-	g := NewRandomCore(cfg.Ranks, rng)
-
 	st := &state{
 		x:       x,
 		omega:   tensor.NewModeIndex(x),
 		factors: factors,
-		core:    g,
+		core:    NewRandomCore(cfg.Ranks, rng),
 		cfg:     cfg,
 	}
 	if cfg.Method == PTuckerCache {
 		st.buildCache()
 	}
+	return st
+}
 
-	// The echoed Config drops the OnIteration hook: it is fit-time
-	// observability, not data (it is likewise excluded from serialization),
-	// and keeping it would pin the hook's captured scope for the lifetime of
-	// a served model.
-	modelCfg := cfg
+// newModel wraps the state's live factors and core in a Model. The model
+// aliases the state: further sweeps mutate it in place (Fitter.Snapshot deep
+// copies when immutability is needed).
+//
+// The echoed Config drops the OnIteration hook: it is fit-time observability,
+// not data (it is likewise excluded from serialization), and keeping it would
+// pin the hook's captured scope for the lifetime of a served model.
+func (st *state) newModel() *Model {
+	modelCfg := st.cfg
 	modelCfg.OnIteration = nil
-	model := &Model{Factors: factors, Core: g, Config: modelCfg}
+	return &Model{Factors: st.factors, Core: st.core, Config: modelCfg}
+}
+
+// sweep is the iteration phase (Algorithm 2 lines 2-7): repeated factor
+// updates, error measurement, optional core refinement and truncation, trace
+// recording, and the OnIteration hook, until convergence, MaxIters, early
+// stop, or cancellation. It mutates st in place and records the run's
+// statistics on model. On a warm start (Fitter.Refit) the state arrives
+// already fitted and sweep simply continues from it.
+func (st *state) sweep(ctx context.Context, model *Model) error {
+	cfg := st.cfg
+	x := st.x
+	n := x.Order()
 
 	prevErr := math.Inf(1)
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
 
@@ -106,7 +143,7 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		work := make([]int64, cfg.Threads)
 		for mode := 0; mode < n; mode++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			for t, c := range st.updateFactor(mode) {
 				work[t] += c
@@ -122,11 +159,11 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		}
 
 		// Line 4: reconstruction error by Eq. (5).
-		errNow := reconstructionError(x, factors, g, cfg.Threads)
+		errNow := reconstructionError(x, st.factors, st.core, cfg.Threads)
 		// |G| is captured at the same instant as Error — after the factor
 		// updates, before this iteration's truncation — so an IterStats
 		// always pairs an error with the core that produced it.
-		coreNNZ := g.NNZ()
+		coreNNZ := st.core.NNZ()
 
 		// Lines 5-6: P-Tucker-Approx truncates noisy core entries.
 		if cfg.Method == PTuckerApprox {
@@ -150,9 +187,9 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 		if cfg.OnIteration != nil {
 			if err := cfg.OnIteration(stats); err != nil {
 				if errors.Is(err, ErrStopIteration) {
-					break
+					return nil
 				}
-				return nil, fmt.Errorf("core: OnIteration hook failed at iteration %d: %w", iter, err)
+				return fmt.Errorf("core: OnIteration hook failed at iteration %d: %w", iter, err)
 			}
 		}
 
@@ -164,22 +201,27 @@ func DecomposeContext(ctx context.Context, x *tensor.Coord, cfg Config) (*Model,
 			}
 			if math.Abs(prevErr-errNow)/denom < cfg.Tol {
 				model.Converged = true
-				break
+				return nil
 			}
 		}
 		prevErr = errNow
 	}
+	return nil
+}
 
+// finish is the finalize phase (Algorithm 2 lines 8-11): record the truncated
+// |G|, orthogonalize the factors by QR and rotate the core by the R factors
+// (Eqs. 7-8, which leave the reconstruction error unchanged), and fill the
+// analytic memory figure.
+func (st *state) finish(model *Model) error {
 	// |G| after the last truncation, recorded before finalize's rotation
 	// re-densifies the core.
-	model.FinalCoreNNZ = g.NNZ()
-
-	// Lines 8-11: orthogonalize factors, rotate core.
-	if err := finalize(factors, g); err != nil {
-		return nil, fmt.Errorf("core: orthogonalization failed: %w", err)
+	model.FinalCoreNNZ = st.core.NNZ()
+	if err := finalize(st.factors, st.core); err != nil {
+		return fmt.Errorf("core: orthogonalization failed: %w", err)
 	}
 	model.IntermediateBytes = st.intermediateBytes()
-	return model, nil
+	return nil
 }
 
 // finalize performs A(n) = Q(n)R(n), substitutes Q(n) for A(n), and applies
@@ -211,6 +253,14 @@ type state struct {
 	// and live core entry e. nil for the other variants.
 	cache  []float64
 	cacheW int
+
+	// keepEmptyRows makes the row update leave rows with no observations at
+	// their current values instead of zeroing them. Cold fits zero such rows
+	// (the exact minimizer of the regularized loss when the row starts at
+	// random noise); warm refits over a delta (Fitter.Refit after
+	// ResumeFitter) keep them, because "no new observations" must not erase
+	// a row the served model already fitted.
+	keepEmptyRows bool
 }
 
 // intermediateBytes returns the analytic intermediate-data footprint
@@ -280,16 +330,27 @@ func (st *state) updateFactor(mode int) []int64 {
 	return counts
 }
 
-// updateRow recomputes row in of A(mode) by Eq. (9): it accumulates B(n)[in]
-// (Eq. 10) and c(n)[in] (Eq. 11) over the observed entries Ω(n)[in], then
-// solves the SPD system [B + λI]ᵀ row = c. Rows with no observations are set
-// to zero, which is the exact minimizer of the regularized loss for them.
+// updateRow recomputes row in of A(mode) by Eq. (9) over the observed
+// entries Ω(n)[in] from the inverted index.
 func (st *state) updateRow(mode, in int, w *workspace) {
+	st.solveRowEntries(mode, st.omega.Slice(mode, in), st.factors[mode].Row(in), w)
+}
+
+// solveRowEntries is the single-row least-squares kernel of Algorithm 3: it
+// accumulates B(n)[in] (Eq. 10) and c(n)[in] (Eq. 11) over the given observed
+// entry ids, then solves the SPD system [B + λI]ᵀ row = c in place. Rows with
+// no observations are set to zero — the exact minimizer of the regularized
+// loss for them — unless st.keepEmptyRows holds (warm refit). It is shared by
+// the full per-mode sweep (updateRow) and by online fold-in, which solves it
+// exactly once for a brand-new row at O(nnz_i·J²·|G|-factor) cost instead of
+// running a whole fit.
+func (st *state) solveRowEntries(mode int, entries []int, row []float64, w *workspace) {
 	jn := st.cfg.Ranks[mode]
-	entries := st.omega.Slice(mode, in)
-	row := st.factors[mode].Row(in)
 
 	if len(entries) == 0 {
+		if st.keepEmptyRows {
+			return
+		}
 		for j := range row {
 			row[j] = 0
 		}

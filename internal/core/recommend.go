@@ -51,6 +51,16 @@ var ErrBadQuery = fmt.Errorf("core: invalid recommendation query")
 // coordinate per mode; the coordinate at freeMode is ignored. k is clamped
 // to the free mode's dimensionality.
 func (r *Recommender) TopK(query []int, freeMode, k int) ([]Rec, error) {
+	return r.TopKExcluding(query, freeMode, k, nil)
+}
+
+// TopKExcluding is TopK with an exclusion set over the free mode: candidates
+// whose index appears in exclude are skipped, which is how a recommendation
+// avoids echoing the items a user already rated back at them. Exclusion
+// indices outside [0, I_free) are ignored (callers can pass raw interaction
+// history without filtering), duplicates are harmless, and k is clamped to
+// the number of remaining candidates.
+func (r *Recommender) TopKExcluding(query []int, freeMode, k int, exclude []int) ([]Rec, error) {
 	p := r.p
 	n := len(p.dims)
 	if freeMode < 0 || freeMode >= n {
@@ -70,8 +80,17 @@ func (r *Recommender) TopK(query []int, freeMode, k int) ([]Rec, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k = %d must be positive", ErrBadQuery, k)
 	}
-	if k > p.dims[freeMode] {
-		k = p.dims[freeMode]
+	var excluded map[int]struct{}
+	if len(exclude) > 0 {
+		excluded = make(map[int]struct{}, len(exclude))
+		for _, i := range exclude {
+			if i >= 0 && i < p.dims[freeMode] {
+				excluded[i] = struct{}{}
+			}
+		}
+	}
+	if candidates := p.dims[freeMode] - len(excluded); k > candidates {
+		k = candidates
 	}
 
 	w := r.contract(query, freeMode)
@@ -81,6 +100,9 @@ func (r *Recommender) TopK(query []int, freeMode, k int) ([]Rec, error) {
 	a := p.factors[freeMode]
 	h := make(recHeap, 0, k)
 	for i := 0; i < a.Rows(); i++ {
+		if _, skip := excluded[i]; skip {
+			continue
+		}
 		score := mat.Dot(a.Row(i), w)
 		if len(h) < k {
 			heap.Push(&h, Rec{Index: i, Score: score})

@@ -150,3 +150,76 @@ func tieFixture(t *testing.T) (int, *Predictor) {
 	}
 	return dims[0], NewPredictor(m)
 }
+
+// TestTopKExcluding: the exclusion set removes exactly the named candidates
+// and the rest keep the TopK order; out-of-range and duplicate exclusions
+// are ignored; excluding everything yields an empty ranking.
+func TestTopKExcluding(t *testing.T) {
+	_, p, _ := predictorFixture(t)
+	rec := p.Recommender()
+	dims := p.Dims()
+	freeMode := 1
+	query := make([]int, len(dims))
+
+	full, err := rec.TopK(query, freeMode, dims[freeMode])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exclude := []int{full[0].Index, full[2].Index, full[0].Index, -5, dims[freeMode] + 9}
+	got, err := rec.TopKExcluding(query, freeMode, dims[freeMode], exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Rec
+	for _, r := range full {
+		if r.Index != full[0].Index && r.Index != full[2].Index {
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d recs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// k larger than the remaining candidates clamps.
+	got, err = rec.TopKExcluding(query, freeMode, dims[freeMode], []int{full[0].Index})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != dims[freeMode]-1 {
+		t.Fatalf("clamp: got %d recs, want %d", len(got), dims[freeMode]-1)
+	}
+
+	// Excluding every candidate leaves nothing to recommend.
+	all := make([]int, dims[freeMode])
+	for i := range all {
+		all[i] = i
+	}
+	got, err = rec.TopKExcluding(query, freeMode, 3, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("all-excluded: got %d recs, want 0", len(got))
+	}
+
+	// TopK is TopKExcluding with a nil set.
+	a, err := rec.TopK(query, freeMode, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rec.TopKExcluding(query, freeMode, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nil exclusion diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

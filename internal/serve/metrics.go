@@ -9,7 +9,7 @@ import (
 )
 
 // endpoints is the fixed label set of the per-endpoint counters.
-var endpoints = []string{"predict", "predict-batch", "recommend", "reload"}
+var endpoints = []string{"predict", "predict-batch", "recommend", "observe", "reload"}
 
 // metrics holds the server's counters. The zero value is ready to use; the
 // per-endpoint maps are built once on first touch and read-only afterwards,
@@ -19,10 +19,15 @@ type metrics struct {
 	req  map[string]*atomic.Int64
 	errs map[string]*atomic.Int64
 
-	predictions atomic.Int64 // cells scored, all paths
-	flushes     atomic.Int64 // coalescer batches executed
-	coalesced   atomic.Int64 // single predictions served via the coalescer
-	reloads     atomic.Int64 // successful model swaps
+	predictions  atomic.Int64 // cells scored, all paths
+	flushes      atomic.Int64 // coalescer batches executed
+	coalesced    atomic.Int64 // single predictions served via the coalescer
+	reloads      atomic.Int64 // successful model swaps
+	observations atomic.Int64 // observations accepted via /v1/observe
+	foldIns      atomic.Int64 // new rows folded into the served model
+	refits       atomic.Int64 // background warm refits published
+	refitErrors  atomic.Int64 // background refits that failed
+	timeouts     atomic.Int64 // requests cut off by the per-request timeout
 }
 
 func (m *metrics) init() {
@@ -84,6 +89,21 @@ func (m *metrics) handler(snap func() *snapshot) http.HandlerFunc {
 		fmt.Fprintln(w, "# HELP ptucker_reloads_total Successful model reloads.")
 		fmt.Fprintln(w, "# TYPE ptucker_reloads_total counter")
 		fmt.Fprintf(w, "ptucker_reloads_total %d\n", m.reloads.Load())
+		fmt.Fprintln(w, "# HELP ptucker_observations_total Observations accepted via /v1/observe.")
+		fmt.Fprintln(w, "# TYPE ptucker_observations_total counter")
+		fmt.Fprintf(w, "ptucker_observations_total %d\n", m.observations.Load())
+		fmt.Fprintln(w, "# HELP ptucker_foldins_total New rows folded into the served model.")
+		fmt.Fprintln(w, "# TYPE ptucker_foldins_total counter")
+		fmt.Fprintf(w, "ptucker_foldins_total %d\n", m.foldIns.Load())
+		fmt.Fprintln(w, "# HELP ptucker_refits_total Background warm refits published.")
+		fmt.Fprintln(w, "# TYPE ptucker_refits_total counter")
+		fmt.Fprintf(w, "ptucker_refits_total %d\n", m.refits.Load())
+		fmt.Fprintln(w, "# HELP ptucker_refit_errors_total Background warm refits that failed.")
+		fmt.Fprintln(w, "# TYPE ptucker_refit_errors_total counter")
+		fmt.Fprintf(w, "ptucker_refit_errors_total %d\n", m.refitErrors.Load())
+		fmt.Fprintln(w, "# HELP ptucker_request_timeouts_total Requests cut off by the per-request timeout.")
+		fmt.Fprintln(w, "# TYPE ptucker_request_timeouts_total counter")
+		fmt.Fprintf(w, "ptucker_request_timeouts_total %d\n", m.timeouts.Load())
 
 		s := snap()
 		fmt.Fprintln(w, "# HELP ptucker_model_loaded_timestamp_seconds Unix time the serving snapshot was installed.")

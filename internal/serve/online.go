@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// errObserveInternal marks observe failures that are the server's fault —
+// the handler answers 500, not 400.
+var errObserveInternal = errors.New("serve: internal observe failure")
+
+// online is the server's mutable fitting state: a Fitter resumed from the
+// serving snapshot that absorbs /v1/observe traffic. The Fitter itself is
+// not concurrent-safe, so every mutation — observe, fold-in, background
+// refit, and the snapshot swap that publishes the result — happens under mu;
+// prediction traffic never touches it (it reads the atomic snapshot).
+type online struct {
+	mu        sync.Mutex
+	fitter    *core.Fitter
+	pending   int  // observations accepted since the last refit
+	refitting bool // one background refit at a time
+}
+
+// --- request/response shapes ---
+
+type observeRequest struct {
+	Observations []core.Observation `json:"observations"`
+}
+
+type foldResult struct {
+	Mode  int `json:"mode"`
+	Index int `json:"index"`
+	NNZ   int `json:"nnz"`
+}
+
+type observeResponse struct {
+	Appended       int          `json:"appended"`
+	Folded         []foldResult `json:"folded,omitempty"`
+	Dims           []int        `json:"dims"`
+	Pending        int          `json:"pending"`
+	RefitTriggered bool         `json:"refit_triggered,omitempty"`
+}
+
+// handleObserve is POST /v1/observe: append observations to the online
+// training set, fold brand-new indices in as fresh factor rows, and
+// atomically publish the grown model — in-flight predictions finish on the
+// snapshot they started with, the same discipline as /v1/reload. When
+// Options.RefitAfter observations have accumulated, a background warm refit
+// is triggered and its result swapped in the same way.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.met.requests("observe").Add(1)
+	var req observeRequest
+	if !s.post(w, r, "observe", &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		s.badRequest(w, "observe", fmt.Errorf("no observations"))
+		return
+	}
+	resp, err := s.observe(r.Context(), req.Observations)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errObserveInternal):
+		s.met.errors("observe").Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The timeout middleware already answered 503; nothing was applied.
+		s.met.errors("observe").Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		s.badRequest(w, "observe", err)
+	}
+}
+
+// observe validates, applies, and publishes one batch of observations.
+func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeResponse, error) {
+	o := &s.online
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	// The lock may have been held for a while (a background refit); if the
+	// request's deadline passed meanwhile the client was already told 503 —
+	// applying now would make a retry double-count the observations, so the
+	// batch is dropped whole instead.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if o.fitter == nil {
+		snap := s.snapshot()
+		f, err := core.ResumeFitter(snap.model, snap.model.Config)
+		if err != nil {
+			return nil, fmt.Errorf("%w: resume fitter: %v", errObserveInternal, err)
+		}
+		o.fitter = f
+	}
+	f := o.fitter
+
+	// Plan first (pure, against a simulated shape), apply second: a request
+	// with any unplaceable observation is rejected whole, so a 400 never
+	// leaves the model half-updated.
+	plan, err := planObservations(f.Dims(), obs)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &observeResponse{Appended: len(plan.appends)}
+	for _, g := range plan.folds {
+		if _, err := f.FoldIn(g.mode, g.obs); err != nil {
+			// Unreachable if the plan is sound. Publish whatever did fold so
+			// the served snapshot never diverges from the fitter, and report
+			// the fault as the server's own (500, not 400).
+			if len(resp.Folded) > 0 {
+				s.install(f.Snapshot())
+			}
+			return nil, fmt.Errorf("%w: fold-in mode %d: %v", errObserveInternal, g.mode, err)
+		}
+		resp.Folded = append(resp.Folded, foldResult{Mode: g.mode, Index: g.index, NNZ: len(g.obs)})
+		s.met.foldIns.Add(1)
+	}
+	if len(plan.appends) > 0 {
+		if err := f.Observe(plan.appends); err != nil {
+			if len(resp.Folded) > 0 {
+				s.install(f.Snapshot())
+			}
+			return nil, fmt.Errorf("%w: append: %v", errObserveInternal, err)
+		}
+	}
+	s.met.observations.Add(int64(len(obs)))
+
+	// Publish grown models: predictions and recommendations for folded-in
+	// rows work the moment this returns. Append-only batches change nothing
+	// a predictor can see (they take effect at the next refit), so the
+	// current snapshot — and its file provenance on /healthz — stays put.
+	if len(resp.Folded) > 0 {
+		s.install(f.Snapshot())
+	}
+
+	o.pending += len(obs)
+	if s.opts.RefitAfter > 0 && o.pending >= s.opts.RefitAfter && !o.refitting {
+		o.refitting = true
+		o.pending = 0
+		resp.RefitTriggered = true
+		go s.backgroundRefit(f)
+	}
+	resp.Dims = f.Dims()
+	resp.Pending = o.pending
+	return resp, nil
+}
+
+// backgroundRefit runs a warm-started Refit over everything the fitter has
+// accumulated and publishes the result. It holds online.mu for the duration,
+// so concurrent observes (and reloads) queue behind it; prediction traffic is
+// unaffected. If a reload replaced the online state while this goroutine was
+// waiting for the lock, the refit is abandoned — the reloaded model wins.
+// The refit runs under the server's lifetime context, so Close stops it
+// within one ALS iteration instead of letting it outlive the server.
+func (s *Server) backgroundRefit(f *core.Fitter) {
+	o := &s.online
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	defer func() { o.refitting = false }()
+	if o.fitter != f {
+		return
+	}
+	m, err := f.Refit(s.life, nil)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			s.met.refitErrors.Add(1)
+		}
+		return
+	}
+	s.install(m)
+	s.met.refits.Add(1)
+}
+
+// install publishes m as the serving snapshot. The empty path records that
+// the model was derived in memory (fold-in or refit), not read from a file.
+func (s *Server) install(m *core.Model) {
+	s.cur.Store(newSnapshot(m, "", s.opts.Workers, s.now()))
+}
+
+// --- observation planning ---
+
+type foldGroup struct {
+	mode  int
+	index int
+	obs   []core.Observation
+}
+
+type obsPlan struct {
+	folds   []foldGroup
+	appends []core.Observation
+}
+
+// planObservations partitions a request's observations into fold-in groups
+// (one per brand-new row, in application order) and plain appends, against a
+// simulated copy of dims — no model state is touched. Rules:
+//
+//   - An observation whose coordinates all address existing (or
+//     earlier-folded) rows is an append.
+//   - A new row enters as mode's next slice (index == current dim); all the
+//     request's observations for it whose other coordinates exist by then
+//     form its fold-in group.
+//   - Chains are allowed: an observation pairing a new user with a new item
+//     defers until one of the two rows is folded, then joins the other's
+//     group (or becomes an append if both folds beat it).
+//
+// Any observation that can never be placed — a gap in the new indices, a
+// wrong-order index — fails the whole batch.
+func planObservations(dims []int, obs []core.Observation) (*obsPlan, error) {
+	n := len(dims)
+	sim := append([]int(nil), dims...)
+	plan := &obsPlan{}
+
+	remaining := make([]int, 0, len(obs))
+	for i, o := range obs {
+		if len(o.Index) != n {
+			return nil, fmt.Errorf("observation %d: index has %d modes, model has %d", i, len(o.Index), n)
+		}
+		for k, c := range o.Index {
+			if c < 0 {
+				return nil, fmt.Errorf("observation %d: negative index %d in mode %d", i, c, k)
+			}
+		}
+		remaining = append(remaining, i)
+	}
+
+	inRange := func(idx []int, skipMode int) bool {
+		for k, c := range idx {
+			if k != skipMode && c >= sim[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for len(remaining) > 0 {
+		progress := false
+
+		// Everything fully addressable now is an append.
+		next := remaining[:0]
+		for _, i := range remaining {
+			if inRange(obs[i].Index, -1) {
+				plan.appends = append(plan.appends, obs[i])
+				progress = true
+				continue
+			}
+			next = append(next, i)
+		}
+		remaining = next
+
+		// Fold the lowest mode whose next slice has a complete group.
+		for mode := 0; mode < n; mode++ {
+			var g []core.Observation
+			var keep []int
+			for _, i := range remaining {
+				o := obs[i]
+				if o.Index[mode] == sim[mode] && inRange(o.Index, mode) {
+					g = append(g, o)
+					continue
+				}
+				keep = append(keep, i)
+			}
+			if len(g) == 0 {
+				continue
+			}
+			plan.folds = append(plan.folds, foldGroup{mode: mode, index: sim[mode], obs: g})
+			sim[mode]++
+			remaining = keep
+			progress = true
+			break
+		}
+
+		if !progress {
+			i := remaining[0]
+			return nil, fmt.Errorf("observation %d: index %v cannot be placed: new rows must extend a mode contiguously (next new slice per mode: %v)",
+				i, obs[i].Index, sim)
+		}
+	}
+	return plan, nil
+}

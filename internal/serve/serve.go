@@ -6,7 +6,10 @@
 //
 //	POST /v1/predict        {"index":[i1,...,iN]}            → {"value":v}
 //	POST /v1/predict-batch  {"indexes":[[...],[...]]}        → {"values":[...]}
-//	POST /v1/recommend      {"query":[...],"mode":m,"k":K}   → {"recs":[{"index":i,"score":s},...]}
+//	POST /v1/recommend      {"query":[...],"mode":m,"k":K,"exclude":[...]}
+//	                                                         → {"recs":[{"index":i,"score":s},...]}
+//	POST /v1/observe        {"observations":[{"index":[...],"value":v},...]}
+//	                                                         → {"appended":a,"folded":[...],"dims":[...]}
 //	POST /v1/reload         {"model":"path"} (path optional) → {"model":...,"loaded_at":...}
 //	GET  /healthz                                            → {"status":"ok",...}
 //	GET  /metrics                                            → Prometheus text format
@@ -23,9 +26,18 @@
 // dispatcher that drains whatever is queued (up to MaxBatch) and scores it
 // with one PredictBatch call, trading nothing on an idle server (a lone
 // request flushes immediately) for fewer, larger kernel passes under load.
+//
+// The model also learns online: /v1/observe appends new observations,
+// folds brand-new indices (cold-start users, new items) in as fresh factor
+// rows via the row-wise solve of Eq. 4, and atomically publishes the grown
+// snapshot; once Options.RefitAfter observations accumulate, a background
+// warm-started refit rebalances the whole model and is swapped in the same
+// way. Every /v1/* endpoint is bounded by a request-body size limit (413)
+// and a per-request timeout (503).
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,11 +50,14 @@ import (
 )
 
 // snapshot bundles everything derived from one loaded model. It is immutable
-// after construction; the server swaps whole snapshots, never fields.
+// after construction; the server swaps whole snapshots, never fields. The
+// model itself is retained (never mutated) so the online-learning path can
+// resume fitting from exactly what is being served.
 type snapshot struct {
+	model    *core.Model
 	pred     *core.Predictor
 	rec      *core.Recommender
-	path     string // file the model came from ("" if served from memory)
+	path     string // file the model came from ("" if derived in memory)
 	loadedAt time.Time
 	order    int
 	dims     []int
@@ -54,6 +69,7 @@ func newSnapshot(m *core.Model, path string, workers int, now time.Time) *snapsh
 		p = p.WithWorkers(workers)
 	}
 	return &snapshot{
+		model:    m,
 		pred:     p,
 		rec:      p.Recommender(),
 		path:     path,
@@ -76,10 +92,28 @@ type Options struct {
 	// MaxBatch caps how many queued single predictions one coalescer flush
 	// scores together (0 = DefaultMaxBatch; 1 disables coalescing).
 	MaxBatch int
+	// RefitAfter triggers a background warm refit (and snapshot swap) once
+	// that many observations have arrived via /v1/observe since the last
+	// refit. 0 disables automatic refits; fold-ins still publish immediately.
+	RefitAfter int
+	// MaxBodyBytes caps the request body size on every /v1/* endpoint;
+	// larger bodies are answered 413. 0 means DefaultMaxBody, negative
+	// disables the limit.
+	MaxBodyBytes int64
+	// Timeout bounds the handling of every /v1/* request; requests that
+	// exceed it are answered 503. 0 means DefaultTimeout, negative disables
+	// the limit.
+	Timeout time.Duration
 }
 
 // DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
 const DefaultMaxBatch = 256
+
+// DefaultMaxBody is the request-body cap when Options.MaxBodyBytes is 0.
+const DefaultMaxBody int64 = 1 << 20
+
+// DefaultTimeout is the per-request bound when Options.Timeout is 0.
+const DefaultTimeout = 30 * time.Second
 
 // ErrServerClosed is returned to predictions caught in flight by Close.
 var ErrServerClosed = errors.New("serve: server closed")
@@ -93,9 +127,23 @@ type Server struct {
 	coal *coalescer
 	met  metrics
 
+	// online is the /v1/observe fitting state; see online.go. After the
+	// initial snapshot, every snapshot store happens under online.mu, so a
+	// reload and a background refit cannot interleave their swaps.
+	online online
+
 	// reloadMu serializes reloads so two concurrent /v1/reload calls cannot
 	// interleave load-then-swap and resurrect an older model.
 	reloadMu sync.Mutex
+
+	// maxBody and timeout are the resolved hardening knobs (0 = disabled).
+	maxBody int64
+	timeout time.Duration
+
+	// life is the server's lifetime context; Close cancels it, stopping a
+	// background refit within one ALS iteration.
+	life     context.Context
+	lifeStop context.CancelFunc
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
@@ -109,6 +157,19 @@ func New(opts Options) (*Server, error) {
 		opts.MaxBatch = DefaultMaxBatch
 	}
 	s := &Server{opts: opts, now: time.Now}
+	s.life, s.lifeStop = context.WithCancel(context.Background())
+	switch {
+	case opts.MaxBodyBytes == 0:
+		s.maxBody = DefaultMaxBody
+	case opts.MaxBodyBytes > 0:
+		s.maxBody = opts.MaxBodyBytes
+	}
+	switch {
+	case opts.Timeout == 0:
+		s.timeout = DefaultTimeout
+	case opts.Timeout > 0:
+		s.timeout = opts.Timeout
+	}
 
 	m := opts.Model
 	// srcPath is the provenance of the initial snapshot: "" when the model
@@ -169,28 +230,44 @@ func (s *Server) reload(path string) (*snapshot, error) {
 		return nil, err
 	}
 	snap := newSnapshot(m, src, s.opts.Workers, s.now())
+
+	// Swap and drop the online fitting state under one lock: the loaded
+	// model supersedes anything observed so far, and holding online.mu
+	// means an in-flight background refit either published before this swap
+	// or notices the reset and abandons its (now stale) result.
+	o := &s.online
+	o.mu.Lock()
 	s.cur.Store(snap)
+	o.fitter = nil
+	o.pending = 0
+	o.mu.Unlock()
+
 	s.met.reloads.Add(1)
 	return snap, nil
 }
 
-// Close stops the coalescer. Idempotent. Shut the http.Server down first
+// Close stops the coalescer and cancels any background refit (it aborts
+// within one ALS iteration). Idempotent. Shut the http.Server down first
 // (so no handler is mid-submit), then Close; predictions still queued at
 // that point are answered with ErrServerClosed.
 func (s *Server) Close() {
+	s.lifeStop()
 	if s.coal != nil {
 		s.coal.stop()
 	}
 }
 
 // Handler returns the route table as an http.Handler, suitable for
-// http.Server or httptest.
+// http.Server or httptest. Every /v1/* route is wrapped in the per-request
+// timeout (Options.Timeout); /healthz and /metrics stay unbounded so probes
+// keep answering even when the serving path is saturated.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/predict-batch", s.handlePredictBatch)
-	mux.HandleFunc("/v1/recommend", s.handleRecommend)
-	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.Handle("/v1/predict", s.withTimeout(s.handlePredict))
+	mux.Handle("/v1/predict-batch", s.withTimeout(s.handlePredictBatch))
+	mux.Handle("/v1/recommend", s.withTimeout(s.handleRecommend))
+	mux.Handle("/v1/observe", s.withTimeout(s.handleObserve))
+	mux.Handle("/v1/reload", s.withTimeout(s.handleReload))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.met.handler(s.snapshot))
 	return mux
@@ -218,6 +295,10 @@ type recommendRequest struct {
 	Query []int `json:"query"`
 	Mode  int   `json:"mode"`
 	K     int   `json:"k"`
+	// Exclude lists free-mode indices to omit from the ranking — typically
+	// the items the user already rated, so recommendations don't echo the
+	// training data. Out-of-range entries are ignored.
+	Exclude []int `json:"exclude"`
 }
 
 type recommendResponse struct {
@@ -290,7 +371,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snapshot()
-	recs, err := snap.rec.TopK(req.Query, req.Mode, req.K)
+	recs, err := snap.rec.TopKExcluding(req.Query, req.Mode, req.K, req.Exclude)
 	if err != nil {
 		s.badRequest(w, "recommend", err)
 		return
@@ -346,16 +427,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // --- plumbing ---
 
-// post enforces the method, decodes the JSON body into dst, and answers the
-// request itself on failure. It reports whether the handler should continue.
+// post enforces the method, applies the body-size limit, decodes the JSON
+// body into dst, and answers the request itself on failure — 413 for an
+// oversized body, 400 for everything else malformed. It reports whether the
+// handler should continue.
 func (s *Server) post(w http.ResponseWriter, r *http.Request, endpoint string, dst interface{}) bool {
 	if r.Method != http.MethodPost {
 		s.methodNotAllowed(w, http.MethodPost)
 		return false
 	}
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.met.errors(endpoint).Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
 		s.badRequest(w, endpoint, fmt.Errorf("bad request body: %v", err))
 		return false
 	}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+)
+
+// WatchModel polls the server's configured ModelPath every interval and
+// hot-reloads the model whenever the file's mtime or size changes — so
+// "deploy by copying a file over the old one" works with no SIGHUP and no
+// /v1/reload call. It blocks until ctx is cancelled (run it on its own
+// goroutine) and returns ctx.Err(), or an immediate error if the server has
+// no model path to watch.
+//
+// The first successful stat always reloads: a deploy that lands between
+// server start and watcher start is reconciled instead of missed, at the
+// cost of one redundant reload on startup. Reload failures (e.g. a
+// half-written file copied without an atomic rename) leave the old model
+// serving and are retried every tick until a good file lands, so the
+// watcher self-heals. A vanished file is treated the same way: keep
+// serving, keep polling.
+func (s *Server) WatchModel(ctx context.Context, interval time.Duration) error {
+	if s.opts.ModelPath == "" {
+		return errors.New("serve: no model path to watch")
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+
+	var lastMod time.Time // zero: the first stat never matches, forcing the reconcile reload
+	var lastSize int64 = -1
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			fi, err := os.Stat(s.opts.ModelPath)
+			if err != nil {
+				continue
+			}
+			if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+				continue
+			}
+			if err := s.Reload(""); err != nil {
+				// Counted like any other failed reload; stat is left stale
+				// so the next tick retries.
+				s.met.errors("reload").Add(1)
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+		}
+	}
+}

@@ -96,6 +96,21 @@ func (t *Coord) MustAppend(idx []int, v float64) {
 	}
 }
 
+// GrowMode extends mode n to newDim slices, keeping every stored entry. It
+// panics if newDim is smaller than the current dimensionality. Growing a mode
+// is how online fold-in admits a brand-new row (a cold-start user, a new
+// item): the tensor's shape stretches, then observations for the new slice
+// are Appended like any others.
+func (t *Coord) GrowMode(n, newDim int) {
+	if n < 0 || n >= len(t.dims) {
+		panic(fmt.Sprintf("tensor: mode %d out of range for order %d", n, len(t.dims)))
+	}
+	if newDim < t.dims[n] {
+		panic(fmt.Sprintf("tensor: cannot shrink mode %d from %d to %d", n, t.dims[n], newDim))
+	}
+	t.dims[n] = newDim
+}
+
 // Clone returns a deep copy of t.
 func (t *Coord) Clone() *Coord {
 	c := NewCoord(t.dims)

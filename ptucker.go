@@ -24,6 +24,12 @@
 // round trip is bit-identical) and served concurrently through a Predictor,
 // whose PredictBatch fans large batches out across worker goroutines.
 //
+// Models also learn online: a Fitter (NewFitter / ResumeFitter) keeps the
+// factorization mutable, absorbing new observations with a warm-started
+// Refit and admitting brand-new rows — cold-start users, new items — with
+// FoldIn, which solves the row's independent least-squares problem (Eq. 4)
+// once instead of re-fitting, then hands out immutable Snapshots to serve.
+//
 // The subpackages under internal/ contain the substrates (dense linear
 // algebra, sparse tensors, the baseline methods of the paper's evaluation)
 // and the experiment harness that regenerates every table and figure; see
@@ -131,6 +137,42 @@ func DecomposeContext(ctx context.Context, x *Tensor, cfg Config) (*Model, error
 // wrapper equivalent to DecomposeContext(context.Background(), x, cfg).
 func Decompose(x *Tensor, cfg Config) (*Model, error) { return core.Decompose(x, cfg) }
 
+// Fitter is the stateful online-learning handle: it owns a mutable copy of
+// the factors, core, and accumulated observations, and exposes Fit (cold
+// start, equivalent to DecomposeContext), Refit (warm-started ALS over the
+// union of old and new observations — reaches the cold-fit error in a
+// fraction of the iterations), FoldIn (admit one brand-new row, e.g. a
+// cold-start user, by solving its row-wise least-squares problem once in
+// O(nnz_i·J²·|G|)), and Snapshot (immutable *Model for predictors).
+//
+// Rule of thumb: FoldIn when a new entity must be servable immediately —
+// its row is exactly what a cold fit with the other factors fixed would
+// produce; Refit once enough fold-ins or new observations have accumulated
+// that the rest of the model should re-balance; Fit only to start over.
+// A Fitter is not safe for concurrent use; snapshots are.
+type Fitter = core.Fitter
+
+// Observation is one observed tensor entry for the online-learning API: a
+// multi-index and its value.
+type Observation = core.Observation
+
+// NewFitter returns a Fitter that cold-starts from cfg at the first Fit.
+func NewFitter(cfg Config) *Fitter { return core.NewFitter(cfg) }
+
+// ResumeFitter wraps an already-fitted model (e.g. one loaded from disk) in
+// a Fitter so it can absorb new observations without a from-scratch refit.
+// Pass m.Config (tweaked as desired) to keep the settings the model was
+// trained with; cfg.Ranks may be nil to adopt the model's ranks.
+func ResumeFitter(m *Model, cfg Config) (*Fitter, error) { return core.ResumeFitter(m, cfg) }
+
+// ErrNotFitted is returned by Fitter operations that need a model before
+// one exists (call Fit first, or construct the Fitter with ResumeFitter).
+var ErrNotFitted = core.ErrNotFitted
+
+// ErrBadObservation is returned by Fitter.Observe/Refit/FoldIn for an
+// observation that does not address an acceptable cell.
+var ErrBadObservation = core.ErrBadObservation
+
 // SaveModel writes a fitted model to path in the versioned binary format,
 // atomically (write to a temp file, then rename). A model saved on one
 // machine and loaded on another yields bit-identical predictions.
@@ -171,8 +213,10 @@ var ErrBadQuery = core.ErrBadQuery
 // candidates of the free mode. It contracts the core with the fixed factor
 // rows once per query and scores all candidates as a dense sweep with a
 // bounded heap — O(|G|·N + I·J) instead of the O(I·|G|·N) of calling
-// Predict per candidate. Derive one with Predictor.Recommender(); it shares
-// the predictor's immutable snapshot and is safe for concurrent use.
+// Predict per candidate. TopKExcluding additionally skips an exclusion set
+// (e.g. the items the user already rated). Derive one with
+// Predictor.Recommender(); it shares the predictor's immutable snapshot and
+// is safe for concurrent use.
 type Recommender = core.Recommender
 
 // Rec is one recommendation returned by Recommender.TopK: a candidate index

@@ -11,13 +11,22 @@
 // started with. The model also learns online: POST /v1/observe appends
 // observations and folds brand-new indices in as fresh factor rows, and
 // -refit-after N triggers a background warm refit every N observations.
-// Request bodies are capped at -max-body bytes (413) and each request is
-// bounded by -timeout (503). SIGINT/SIGTERM drain the listener gracefully
-// before exiting.
+//
+// With -data-dir the process is durable: every accepted observe batch is
+// journaled (fsync policy: -journal-sync) before it is applied, the journal
+// is replayed on startup so a crash loses nothing, and a successful refit
+// compacts journal + training set + model into the directory — which then
+// supersedes -model on the next start. -auth-token guards the mutating
+// endpoints with a bearer token; -holdout reports held-out RMSE on /metrics
+// across refits. Request bodies are capped at -max-body bytes (413) and each
+// request is bounded by -timeout (503). SIGINT/SIGTERM drain the listener
+// gracefully before exiting.
 //
 // Usage:
 //
 //	ptucker-serve -model model.ptkm -addr :8080 -refit-after 1000 -watch 5s
+//	ptucker-serve -model model.ptkm -data-dir ./data -journal-sync always \
+//	    -auth-token $TOKEN -holdout test.tns
 //	curl -s localhost:8080/v1/predict -d '{"index":[3,7,1]}'
 //	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10,"exclude":[7]}'
 //	curl -s localhost:8080/v1/observe -d '{"observations":[{"index":[50,7,1],"value":0.9}]}'
@@ -37,23 +46,33 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		model      = flag.String("model", "", "saved model file to serve (required)")
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
-		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
-		refitAfter = flag.Int("refit-after", 0, "background warm refit after this many /v1/observe observations (0 disables)")
-		maxBody    = flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes on /v1/* (larger bodies get 413; <0 disables)")
-		timeout    = flag.Duration("timeout", serve.DefaultTimeout, "per-request handling bound on /v1/* (exceeded requests get 503; <0 disables)")
-		watch      = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
+		model       = flag.String("model", "", "saved model file to serve (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
+		refitAfter  = flag.Int("refit-after", 0, "background warm refit after this many /v1/observe observations (0 disables)")
+		maxBody     = flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes on /v1/* (larger bodies get 413; <0 disables)")
+		timeout     = flag.Duration("timeout", serve.DefaultTimeout, "per-request handling bound on /v1/* (exceeded requests get 503; <0 disables)")
+		watch       = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
+		dataDir     = flag.String("data-dir", "", "durability directory: journal observes, replay on startup, compact after refits (empty disables)")
+		journalSync = flag.String("journal-sync", "batch", "journal fsync policy: always, none, batch, or a batching interval like 250ms")
+		holdout     = flag.String("holdout", "", "held-out test tensor (text or binary); RMSE is reported on /metrics across refits")
+		authToken   = flag.String("auth-token", "", "bearer token required on mutating endpoints (/v1/observe, /v1/reload); empty leaves them open")
 	)
 	flag.Parse()
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	syncPolicy, err := store.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-serve: -journal-sync: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -64,9 +83,16 @@ func main() {
 		RefitAfter:   *refitAfter,
 		MaxBodyBytes: *maxBody,
 		Timeout:      *timeout,
+		DataDir:      *dataDir,
+		JournalSync:  syncPolicy,
+		HoldoutPath:  *holdout,
+		AuthToken:    *authToken,
 	})
 	if err != nil {
 		log.Fatalf("ptucker-serve: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("ptucker-serve: durable data dir %s (journal sync %v)", *dataDir, syncPolicy.Mode)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

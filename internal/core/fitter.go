@@ -284,6 +284,78 @@ func (f *Fitter) FoldIn(mode int, obs []Observation) (int, error) {
 	return newRow, nil
 }
 
+// TrainingStore supplies a persisted training set to AttachStore. It is
+// implemented by store.Dir (the serving layer's data directory); any source
+// of a training tensor will do. TrainingTensor returns (nil, nil) when
+// nothing has been persisted yet.
+type TrainingStore interface {
+	TrainingTensor() (*tensor.Coord, error)
+}
+
+// AttachStore loads the persisted training set from ts and attaches it via
+// AttachTrainingSet, so a Fitter resumed from a bare model file refits over
+// the true union of everything ever observed instead of only the
+// observations that arrived since the resume. A store with no persisted
+// tensor is a no-op.
+func (f *Fitter) AttachStore(ts TrainingStore) error {
+	x, err := ts.TrainingTensor()
+	if err != nil {
+		return err
+	}
+	if x == nil {
+		return nil
+	}
+	return f.AttachTrainingSet(x)
+}
+
+// AttachTrainingSet merges a persisted training tensor into the fitter's
+// accumulated observation set, in front of anything observed since the
+// resume — the same order a process that never went down would have them in,
+// which is what keeps resumed refits bit-identical to uninterrupted ones.
+// The tensor's order must match the model's, and no mode may be larger than
+// the model's (the model must cover every row the training set addresses);
+// smaller modes are grown to the model's shape. x is cloned, never aliased.
+func (f *Fitter) AttachTrainingSet(x *tensor.Coord) error {
+	if f.st == nil {
+		return ErrNotFitted
+	}
+	st := f.st
+	n := st.x.Order()
+	if x.Order() != n {
+		return fmt.Errorf("%w: training set has order %d, model has %d", ErrBadObservation, x.Order(), n)
+	}
+	for k := 0; k < n; k++ {
+		if x.Dim(k) > st.x.Dim(k) {
+			return fmt.Errorf("%w: training set mode %d has dimension %d but the model covers only %d rows",
+				ErrBadObservation, k, x.Dim(k), st.x.Dim(k))
+		}
+	}
+
+	merged := x.Clone()
+	for k := 0; k < n; k++ {
+		merged.GrowMode(k, st.x.Dim(k))
+	}
+	for e := 0; e < st.x.NNZ(); e++ {
+		merged.MustAppend(st.x.Index(e), st.x.Value(e))
+	}
+	st.x = merged
+	// Entry-indexed structures are stale; Refit rebuilds them.
+	st.omega = nil
+	st.cache = nil
+	st.cacheW = 0
+	return nil
+}
+
+// TrainingSet returns a deep copy of the fitter's accumulated training
+// observations (what the next Refit sweeps over and what a compaction
+// snapshot persists), or nil before the first fit.
+func (f *Fitter) TrainingSet() *tensor.Coord {
+	if f.st == nil {
+		return nil
+	}
+	return f.st.x.Clone()
+}
+
 // Snapshot returns an immutable deep copy of the fitter's current model,
 // suitable for NewPredictor and the serving layer. Factors, core, config,
 // and run statistics are all copied; later Fit/Refit/FoldIn calls never

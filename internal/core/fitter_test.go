@@ -363,3 +363,136 @@ func TestResumeFitterValidation(t *testing.T) {
 		t.Fatal("ResumeFitter snapshot differs from the resumed model")
 	}
 }
+
+// memStore is an in-memory TrainingStore for AttachStore tests.
+type memStore struct {
+	x   *tensor.Coord
+	err error
+}
+
+func (m *memStore) TrainingTensor() (*tensor.Coord, error) { return m.x, m.err }
+
+// TestAttachTrainingSet: a fitter resumed from a persisted model and handed
+// the persisted training set refits over the true union, bit-identically to
+// a fitter that never went away — regardless of whether the sidecar is
+// attached before or after the new observations arrive (merge order is
+// persisted-first either way).
+func TestAttachTrainingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x := plantedTensor(rng, []int{14, 12, 8}, []int{3, 3, 2}, 700, 0.05)
+	cfg := smallConfig([]int{3, 3, 2})
+
+	obsRng := rand.New(rand.NewSource(72))
+	var delta []Observation
+	for i := 0; i < 30; i++ {
+		delta = append(delta, Observation{
+			Index: []int{obsRng.Intn(14), obsRng.Intn(12), obsRng.Intn(8)},
+			Value: obsRng.Float64(),
+		})
+	}
+
+	// Reference: one process, never interrupted.
+	ref := NewFitter(cfg)
+	base, err := ref.Fit(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Refit(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, attachFirst := range []bool{true, false} {
+		f, err := ResumeFitter(base, base.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attachFirst {
+			if err := f.AttachStore(&memStore{x: x}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Observe(delta); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := f.Observe(delta); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.AttachTrainingSet(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.NNZ() != x.NNZ()+len(delta) {
+			t.Fatalf("attachFirst=%v: union has %d entries, want %d", attachFirst, f.NNZ(), x.NNZ()+len(delta))
+		}
+		got, err := f.Refit(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !modelsBitIdentical(want, got) {
+			t.Fatalf("attachFirst=%v: resumed true-union refit differs from in-process refit", attachFirst)
+		}
+	}
+}
+
+// TestAttachTrainingSetValidation covers the attach error paths.
+func TestAttachTrainingSetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	x := plantedTensor(rng, []int{10, 8, 6}, []int{2, 2, 2}, 300, 0.05)
+	cfg := smallConfig([]int{2, 2, 2})
+	f := NewFitter(cfg)
+
+	// Before any fit there is nothing to attach to.
+	if err := f.AttachTrainingSet(x); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("attach before fit: %v", err)
+	}
+	if _, err := f.Fit(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong order and oversized modes are rejected, leaving the set intact.
+	if err := f.AttachTrainingSet(tensor.NewCoord([]int{10, 8})); !errors.Is(err, ErrBadObservation) {
+		t.Fatalf("wrong order: %v", err)
+	}
+	big := tensor.NewCoord([]int{11, 8, 6})
+	big.MustAppend([]int{10, 0, 0}, 1)
+	if err := f.AttachTrainingSet(big); !errors.Is(err, ErrBadObservation) {
+		t.Fatalf("oversized mode: %v", err)
+	}
+	if f.NNZ() != x.NNZ() {
+		t.Fatalf("failed attach changed the training set: %d vs %d", f.NNZ(), x.NNZ())
+	}
+
+	// A store load failure propagates; an empty store is a no-op.
+	wantErr := errors.New("disk on fire")
+	if err := f.AttachStore(&memStore{err: wantErr}); !errors.Is(err, wantErr) {
+		t.Fatalf("store error: %v", err)
+	}
+	if err := f.AttachStore(&memStore{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.NNZ() != x.NNZ() {
+		t.Fatalf("empty store attach changed the training set: %d", f.NNZ())
+	}
+
+	// A smaller-dimensioned sidecar is grown to the model's shape.
+	small := tensor.NewCoord([]int{5, 4, 3})
+	small.MustAppend([]int{4, 3, 2}, 0.5)
+	if err := f.AttachTrainingSet(small); err != nil {
+		t.Fatal(err)
+	}
+	if f.NNZ() != x.NNZ()+1 {
+		t.Fatalf("after attach: %d entries, want %d", f.NNZ(), x.NNZ()+1)
+	}
+	dims := f.Dims()
+	if dims[0] != 10 || dims[1] != 8 || dims[2] != 6 {
+		t.Fatalf("dims changed: %v", dims)
+	}
+
+	// TrainingSet returns a copy: mutating it must not touch the fitter.
+	ts := f.TrainingSet()
+	ts.SetValue(0, 999)
+	if f.TrainingSet().Value(0) == 999 {
+		t.Fatal("TrainingSet aliases the fitter's live tensor")
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// Durability wiring. With Options.DataDir set, the server keeps three
+// artifacts in the directory (see package store):
+//
+//   - observations.ptkj — every accepted /v1/observe batch, journaled before
+//     it is applied;
+//   - training.ptkt — the accumulated training set, snapshotted at each
+//     compaction with the journal sequence it covers;
+//   - model.ptkm — the persisted base model, written at each compaction and
+//     at reload re-bases. When present it supersedes Options.ModelPath at
+//     startup: the data directory holds the newest durable state.
+//
+// Startup replays the journal's uncovered records through the same
+// plan/apply path live traffic takes. Observation application draws no
+// randomness, so a process killed mid-stream and restarted serves
+// bit-identical predictions to one that never crashed. After a successful
+// background refit the journal is compacted: model and training set are
+// persisted, and the journal is rotated empty (sequence numbers continue, so
+// a crash between the two commits cannot double-apply).
+
+// initDurable opens the data directory's journal, restores the online
+// fitter from the training sidecar, and replays uncovered journal records.
+// Called once from New, after the initial snapshot is installed; s.dir is
+// already set (the initial model may have come from it).
+func (s *Server) initDurable() error {
+	if s.dir == nil {
+		return nil
+	}
+	m := s.snapshot().model
+	j, err := store.OpenJournal(s.dir.JournalPath(), m.Order(), s.opts.JournalSync)
+	if err != nil {
+		return err
+	}
+	if j.Recovered > 0 {
+		log.Printf("serve: journal recovery dropped a torn %d-byte tail (crash mid-write); every intact record replays", j.Recovered)
+	}
+
+	f, err := core.ResumeFitter(m, m.Config)
+	if err != nil {
+		j.Close()
+		return fmt.Errorf("serve: resume fitter for replay: %w", err)
+	}
+	x, covered, err := s.dir.TrainingSnapshot()
+	if err != nil {
+		j.Close()
+		return err
+	}
+	if x != nil {
+		if err := f.AttachTrainingSet(x); err != nil {
+			j.Close()
+			return fmt.Errorf("serve: attach training snapshot: %w", err)
+		}
+	}
+
+	folds := 0
+	records, obs := 0, 0
+	err = j.Replay(func(rec store.Record) error {
+		if rec.Seq <= covered {
+			return nil // already part of the training snapshot
+		}
+		plan, err := planObservations(f.Dims(), rec.Observations)
+		if err != nil {
+			return fmt.Errorf("serve: journal record %d: %w", rec.Seq, err)
+		}
+		resp, err := s.applyPlan(f, plan, false)
+		if err != nil {
+			return fmt.Errorf("serve: journal record %d: %w", rec.Seq, err)
+		}
+		folds += len(resp.Folded)
+		records++
+		obs += len(rec.Observations)
+		return nil
+	})
+	if err != nil {
+		j.Close()
+		return err
+	}
+
+	s.journal = j
+	s.online.fitter = f
+	// Replayed observations were never refitted; they count toward the next
+	// RefitAfter trigger like the live traffic they were.
+	s.online.pending = obs
+	if folds > 0 {
+		s.install(f.Snapshot())
+	}
+	s.met.journalReplayed.Store(int64(records))
+	return nil
+}
+
+// journalAppend records one accepted batch; a nil journal (no data dir) is a
+// no-op. The caller holds whichever lock currently admits observes, so
+// appends are totally ordered exactly as they are applied.
+func (s *Server) journalAppend(obs []core.Observation) error {
+	if s.journal == nil {
+		return nil
+	}
+	if _, err := s.journal.Append(obs); err != nil {
+		return fmt.Errorf("%w: journal: %v", errObserveInternal, err)
+	}
+	s.met.journalAppends.Add(1)
+	return nil
+}
+
+// compact persists the post-refit state — model first, then the training
+// snapshot + journal rotation as one CompactThrough — so a restart resumes
+// from the refit instead of replaying the journal over the old base. It
+// runs OFF the online lock: x is a deep copy covering exactly the records
+// with Seq ≤ covered, and records appended while the writes run have later
+// sequences and survive the rotation, so observes never stall behind
+// compaction I/O. Failures are not fatal: the journal still holds every
+// record, and replay over the previous snapshot reconstructs the same state.
+func (s *Server) compact(m *core.Model, x *tensor.Coord, covered uint64, gen int64) {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	if gen < s.durLastGen {
+		// A reload re-based the directory after this compaction's inputs
+		// were captured; writing them now would resurrect the superseded
+		// state on the next restart.
+		return
+	}
+	if err := core.SaveModel(s.dir.ModelPath(), m); err != nil {
+		log.Printf("serve: compaction: persist model: %v (journal kept; will replay on restart)", err)
+		s.met.compactionErrors.Add(1)
+		return
+	}
+	if err := s.journal.CompactThrough(s.dir.TensorPath(), x, covered); err != nil {
+		log.Printf("serve: compaction: %v (journal kept; will replay on restart)", err)
+		s.met.compactionErrors.Add(1)
+		return
+	}
+	s.met.compactions.Add(1)
+}
+
+// rebaseDurable resets the durable state around a committed reload: the
+// journaled observations are superseded (a reload drops the online state,
+// so a restart must not replay them), the training sidecar no longer
+// describes the new model, and the new model becomes the persisted base.
+// The ordering keeps every crash-exposed state consistent: journal first
+// (worst case: the old base without its observations — exactly what the
+// reload discarded anyway), sidecar second, model last (the commit). A
+// failure mid-way is logged and counted, never propagated: the reload has
+// already happened in memory, and aborting here could not un-happen it. The
+// journal is poisoned instead — mixing pre-reload records (or an old base
+// model) with records validated against the reloaded model would leave a
+// directory whose replay cannot succeed, so further observes are refused
+// (500) until an operator restarts or a later reload re-bases cleanly. The
+// caller holds online.mu (so observes cannot journal a new-state record
+// into the journal this is about to reset) and has bumped online.gen; the
+// generation is recorded under durMu so an in-flight compaction captured
+// before this reload skips its now-superseded write.
+func (s *Server) rebaseDurable(m *core.Model, gen int64) {
+	if s.dir == nil {
+		return
+	}
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	s.durLastGen = gen
+	err := s.journal.Reset()
+	if err == nil {
+		err = s.dir.RemoveTrainingTensor()
+	}
+	if err == nil {
+		err = core.SaveModel(s.dir.ModelPath(), m)
+	}
+	if err != nil {
+		log.Printf("serve: reload re-base: %v — refusing further observes (journal poisoned) so the data dir cannot mix generations", err)
+		s.met.rebaseErrors.Add(1)
+		s.journal.Poison(err)
+	}
+}
+
+// --- held-out RMSE tracking ---
+
+// initHoldout loads the held-out tensor (text or binary, auto-detected) and
+// scores the initial model, so /metrics reports RMSE from the first scrape.
+func (s *Server) initHoldout() error {
+	if s.opts.HoldoutPath == "" {
+		return nil
+	}
+	m := s.snapshot().model
+	x, err := tensor.ReadFile(s.opts.HoldoutPath, m.Order(), nil)
+	if err != nil {
+		return fmt.Errorf("serve: holdout: %w", err)
+	}
+	s.holdout = x
+	s.updateHoldout(m)
+	return nil
+}
+
+// updateHoldout rescores the held-out set against m and publishes the gauge.
+// Called with the initial model, after every refit swap, and after reloads.
+func (s *Server) updateHoldout(m *core.Model) {
+	if s.holdout == nil {
+		return
+	}
+	s.met.holdoutRMSE.Store(math.Float64bits(m.RMSE(s.holdout)))
+	s.met.holdoutSet.Store(true)
+}
+
+// --- bearer-token auth ---
+
+// requireAuth guards a mutating endpoint with the configured bearer token:
+// requests must carry "Authorization: Bearer <token>" or are answered 401.
+// Read-only endpoints stay open — the first slice of serving auth covers the
+// calls that can change the model. A server without a token passes handlers
+// through untouched.
+func (s *Server) requireAuth(h http.Handler) http.Handler {
+	if s.opts.AuthToken == "" {
+		return h
+	}
+	want := []byte("Bearer " + s.opts.AuthToken)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			s.met.authFailures.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="ptucker"`)
+			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid bearer token"})
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -28,6 +29,17 @@ type metrics struct {
 	refits       atomic.Int64 // background warm refits published
 	refitErrors  atomic.Int64 // background refits that failed
 	timeouts     atomic.Int64 // requests cut off by the per-request timeout
+
+	stagedObservations atomic.Int64 // observations buffered while a refit ran
+	journalAppends     atomic.Int64 // batches journaled to the data dir
+	journalReplayed    atomic.Int64 // journal records replayed at startup
+	compactions        atomic.Int64 // journal compactions completed
+	compactionErrors   atomic.Int64 // compactions that failed (journal kept)
+	rebaseErrors       atomic.Int64 // reload re-bases that failed to persist
+	authFailures       atomic.Int64 // mutating requests rejected with 401
+
+	holdoutSet  atomic.Bool   // a held-out set is configured and scored
+	holdoutRMSE atomic.Uint64 // float64 bits of the latest held-out RMSE
 }
 
 func (m *metrics) init() {
@@ -104,6 +116,32 @@ func (m *metrics) handler(snap func() *snapshot) http.HandlerFunc {
 		fmt.Fprintln(w, "# HELP ptucker_request_timeouts_total Requests cut off by the per-request timeout.")
 		fmt.Fprintln(w, "# TYPE ptucker_request_timeouts_total counter")
 		fmt.Fprintf(w, "ptucker_request_timeouts_total %d\n", m.timeouts.Load())
+		fmt.Fprintln(w, "# HELP ptucker_staged_observations_total Observations buffered in the staging queue while a refit ran.")
+		fmt.Fprintln(w, "# TYPE ptucker_staged_observations_total counter")
+		fmt.Fprintf(w, "ptucker_staged_observations_total %d\n", m.stagedObservations.Load())
+		fmt.Fprintln(w, "# HELP ptucker_journal_appends_total Observation batches journaled to the data directory.")
+		fmt.Fprintln(w, "# TYPE ptucker_journal_appends_total counter")
+		fmt.Fprintf(w, "ptucker_journal_appends_total %d\n", m.journalAppends.Load())
+		fmt.Fprintln(w, "# HELP ptucker_journal_replayed_records Journal records replayed at the last startup.")
+		fmt.Fprintln(w, "# TYPE ptucker_journal_replayed_records gauge")
+		fmt.Fprintf(w, "ptucker_journal_replayed_records %d\n", m.journalReplayed.Load())
+		fmt.Fprintln(w, "# HELP ptucker_journal_compactions_total Journal compactions into model + training snapshots.")
+		fmt.Fprintln(w, "# TYPE ptucker_journal_compactions_total counter")
+		fmt.Fprintf(w, "ptucker_journal_compactions_total %d\n", m.compactions.Load())
+		fmt.Fprintln(w, "# HELP ptucker_journal_compaction_errors_total Compactions that failed (journal kept for replay).")
+		fmt.Fprintln(w, "# TYPE ptucker_journal_compaction_errors_total counter")
+		fmt.Fprintf(w, "ptucker_journal_compaction_errors_total %d\n", m.compactionErrors.Load())
+		fmt.Fprintln(w, "# HELP ptucker_rebase_errors_total Reload re-bases that failed to persist (data dir may restart pre-reload).")
+		fmt.Fprintln(w, "# TYPE ptucker_rebase_errors_total counter")
+		fmt.Fprintf(w, "ptucker_rebase_errors_total %d\n", m.rebaseErrors.Load())
+		fmt.Fprintln(w, "# HELP ptucker_auth_failures_total Mutating requests rejected for a missing or invalid bearer token.")
+		fmt.Fprintln(w, "# TYPE ptucker_auth_failures_total counter")
+		fmt.Fprintf(w, "ptucker_auth_failures_total %d\n", m.authFailures.Load())
+		if m.holdoutSet.Load() {
+			fmt.Fprintln(w, "# HELP ptucker_holdout_rmse RMSE of the served model over the held-out set, re-scored after refits and reloads.")
+			fmt.Fprintln(w, "# TYPE ptucker_holdout_rmse gauge")
+			fmt.Fprintf(w, "ptucker_holdout_rmse %g\n", math.Float64frombits(m.holdoutRMSE.Load()))
+		}
 
 		s := snap()
 		fmt.Fprintln(w, "# HELP ptucker_model_loaded_timestamp_seconds Unix time the serving snapshot was installed.")

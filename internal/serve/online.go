@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/tensor"
 )
 
 // errObserveInternal marks observe failures that are the server's fault —
@@ -16,14 +17,42 @@ var errObserveInternal = errors.New("serve: internal observe failure")
 
 // online is the server's mutable fitting state: a Fitter resumed from the
 // serving snapshot that absorbs /v1/observe traffic. The Fitter itself is
-// not concurrent-safe, so every mutation — observe, fold-in, background
-// refit, and the snapshot swap that publishes the result — happens under mu;
-// prediction traffic never touches it (it reads the atomic snapshot).
+// not concurrent-safe; mutations happen under mu. A background refit owns
+// the fitter for its whole compute without holding mu — observes that arrive
+// meanwhile are validated, journaled, and buffered into the staging queue
+// (under stageMu, so they never block behind the refit), then drained into
+// the fitter when the refit's results are swapped in.
 type online struct {
-	mu        sync.Mutex
-	fitter    *core.Fitter
-	pending   int  // observations accepted since the last refit
-	refitting bool // one background refit at a time
+	mu      sync.Mutex
+	fitter  *core.Fitter
+	pending int // observations accepted since the last refit
+
+	// refitting tracks the single in-flight background refit; refitFitter is
+	// the fitter that refit owns. A reload can install a new fitter while a
+	// refit still runs on the abandoned one — observes then mutate the new
+	// fitter under mu as usual, because only refitFitter is owned elsewhere;
+	// refitCancel lets the reload abort the abandoned compute within one ALS
+	// iteration instead of letting it burn cores to produce a discarded
+	// result.
+	refitting   bool
+	refitFitter *core.Fitter
+	refitCancel context.CancelFunc
+
+	// gen counts superseding events (reloads). Off-lock data-dir writers
+	// (compaction) capture it with their inputs; the generation check under
+	// Server.durMu keeps a compaction captured before a reload from
+	// overwriting the re-based directory.
+	gen int64
+
+	// The staging queue. staging is true exactly while an in-flight refit
+	// owns the serving fitter; stagedDims simulates the fitter's shape across
+	// the staged batches so fold-ins plan deterministically at staging time
+	// and apply identically at drain time (a refit never changes dims).
+	stageMu     sync.Mutex
+	staging     bool
+	staged      [][]core.Observation
+	stagedDims  []int
+	stagedCount int
 }
 
 // --- request/response shapes ---
@@ -39,19 +68,26 @@ type foldResult struct {
 }
 
 type observeResponse struct {
-	Appended       int          `json:"appended"`
-	Folded         []foldResult `json:"folded,omitempty"`
-	Dims           []int        `json:"dims"`
-	Pending        int          `json:"pending"`
-	RefitTriggered bool         `json:"refit_triggered,omitempty"`
+	Appended int          `json:"appended"`
+	Folded   []foldResult `json:"folded,omitempty"`
+	Dims     []int        `json:"dims"`
+	Pending  int          `json:"pending"`
+	// Staged reports that the batch was accepted (and journaled) while a
+	// background refit was in flight: it is applied — and its folded rows
+	// become servable — when the refit finishes, not when this returns.
+	Staged         bool `json:"staged,omitempty"`
+	RefitTriggered bool `json:"refit_triggered,omitempty"`
 }
 
 // handleObserve is POST /v1/observe: append observations to the online
 // training set, fold brand-new indices in as fresh factor rows, and
 // atomically publish the grown model — in-flight predictions finish on the
-// snapshot they started with, the same discipline as /v1/reload. When
-// Options.RefitAfter observations have accumulated, a background warm refit
-// is triggered and its result swapped in the same way.
+// snapshot they started with, the same discipline as /v1/reload. With a data
+// directory configured, every accepted batch is journaled before it is
+// applied, so a crash replays it. When Options.RefitAfter observations have
+// accumulated, a background warm refit is triggered and its result swapped
+// in the same way; batches arriving during the refit are staged, not
+// blocked.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.met.requests("observe").Add(1)
 	var req observeRequest
@@ -78,19 +114,37 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// observe validates, applies, and publishes one batch of observations.
+// observe validates, journals, applies, and publishes one batch of
+// observations — or stages it when a background refit owns the fitter.
 func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeResponse, error) {
 	o := &s.online
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	for {
+		o.mu.Lock()
 
-	// The lock may have been held for a while (a background refit); if the
-	// request's deadline passed meanwhile the client was already told 503 —
-	// applying now would make a retry double-count the observations, so the
-	// batch is dropped whole instead.
-	if err := ctx.Err(); err != nil {
-		return nil, err
+		// The lock may have been held for a while; if the request's deadline
+		// passed meanwhile the client was already told 503 — applying now
+		// would make a retry double-count the observations, so the batch is
+		// dropped whole instead.
+		if err := ctx.Err(); err != nil {
+			o.mu.Unlock()
+			return nil, err
+		}
+		// Stage only while a live refit owns the serving fitter. The nil
+		// check matters: after a reload (fitter=nil) during a refit's
+		// compaction tail (refitFitter already nil), nil==nil must not send
+		// observes into a closed staging window to spin.
+		if !(o.refitting && o.refitFitter != nil && o.fitter == o.refitFitter) {
+			break // hold mu; the fitter is ours to mutate
+		}
+		o.mu.Unlock()
+		resp, retry, err := s.stageObserve(ctx, obs)
+		if !retry {
+			return resp, err
+		}
+		// The staging window closed between the two locks (the refit drained,
+		// or a reload superseded it) — go around and take the normal path.
 	}
+	defer o.mu.Unlock()
 
 	if o.fitter == nil {
 		snap := s.snapshot()
@@ -110,27 +164,15 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 		return nil, err
 	}
 
-	resp := &observeResponse{Appended: len(plan.appends)}
-	for _, g := range plan.folds {
-		if _, err := f.FoldIn(g.mode, g.obs); err != nil {
-			// Unreachable if the plan is sound. Publish whatever did fold so
-			// the served snapshot never diverges from the fitter, and report
-			// the fault as the server's own (500, not 400).
-			if len(resp.Folded) > 0 {
-				s.install(f.Snapshot())
-			}
-			return nil, fmt.Errorf("%w: fold-in mode %d: %v", errObserveInternal, g.mode, err)
-		}
-		resp.Folded = append(resp.Folded, foldResult{Mode: g.mode, Index: g.index, NNZ: len(g.obs)})
-		s.met.foldIns.Add(1)
+	// Journal before applying: once the batch mutates the fitter it must be
+	// recoverable, so a journal failure rejects the batch untouched.
+	if err := s.journalAppend(obs); err != nil {
+		return nil, err
 	}
-	if len(plan.appends) > 0 {
-		if err := f.Observe(plan.appends); err != nil {
-			if len(resp.Folded) > 0 {
-				s.install(f.Snapshot())
-			}
-			return nil, fmt.Errorf("%w: append: %v", errObserveInternal, err)
-		}
+
+	resp, err := s.applyPlan(f, plan, true)
+	if err != nil {
+		return nil, err
 	}
 	s.met.observations.Add(int64(len(obs)))
 
@@ -145,39 +187,202 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 	o.pending += len(obs)
 	if s.opts.RefitAfter > 0 && o.pending >= s.opts.RefitAfter && !o.refitting {
 		o.refitting = true
+		o.refitFitter = f
 		o.pending = 0
 		resp.RefitTriggered = true
-		go s.backgroundRefit(f)
+		// The refit's context chains off the server lifetime (Close aborts
+		// it) and is additionally cancellable by a superseding reload.
+		rctx, cancel := context.WithCancel(s.life)
+		o.refitCancel = cancel
+		// Open the staging window before the refit goroutine exists, so no
+		// observe can slip between "refit owns the fitter" and "staging is
+		// accepting".
+		o.stageMu.Lock()
+		o.staging = true
+		o.stagedDims = f.Dims()
+		o.stagedCount = 0
+		o.stageMu.Unlock()
+		go s.backgroundRefit(rctx, f, cancel)
 	}
 	resp.Dims = f.Dims()
 	resp.Pending = o.pending
 	return resp, nil
 }
 
-// backgroundRefit runs a warm-started Refit over everything the fitter has
-// accumulated and publishes the result. It holds online.mu for the duration,
-// so concurrent observes (and reloads) queue behind it; prediction traffic is
-// unaffected. If a reload replaced the online state while this goroutine was
-// waiting for the lock, the refit is abandoned — the reloaded model wins.
-// The refit runs under the server's lifetime context, so Close stops it
-// within one ALS iteration instead of letting it outlive the server.
-func (s *Server) backgroundRefit(f *core.Fitter) {
+// stageObserve accepts a batch while a refit owns the fitter: it plans
+// against the simulated staged shape, journals, and buffers the raw batch
+// for the post-refit drain. It reports retry=true when the staging window is
+// closed (the caller re-takes the normal path).
+func (s *Server) stageObserve(ctx context.Context, obs []core.Observation) (*observeResponse, bool, error) {
 	o := &s.online
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	defer func() { o.refitting = false }()
-	if o.fitter != f {
-		return
+	o.stageMu.Lock()
+	defer o.stageMu.Unlock()
+	if !o.staging {
+		return nil, true, nil
 	}
-	m, err := f.Refit(s.life, nil)
+	// Same discipline as the normal path: queueing behind other staged
+	// appends (each an fsync under SyncAlways) may have outlived the request
+	// deadline, and the client was already told 503 — applying now would
+	// make a retry double-count the batch.
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	plan, err := planObservations(o.stagedDims, obs)
 	if err != nil {
-		if !errors.Is(err, context.Canceled) {
-			s.met.refitErrors.Add(1)
+		return nil, false, err
+	}
+	if err := s.journalAppend(obs); err != nil {
+		return nil, false, err
+	}
+	o.staged = append(o.staged, obs)
+	o.stagedCount += len(obs)
+
+	resp := &observeResponse{Appended: len(plan.appends), Staged: true, Pending: o.stagedCount}
+	for _, g := range plan.folds {
+		o.stagedDims[g.mode]++
+		resp.Folded = append(resp.Folded, foldResult{Mode: g.mode, Index: g.index, NNZ: len(g.obs)})
+	}
+	resp.Dims = append([]int(nil), o.stagedDims...)
+	s.met.observations.Add(int64(len(obs)))
+	s.met.stagedObservations.Add(int64(len(obs)))
+	return resp, false, nil
+}
+
+// applyPlan runs one planned batch against the fitter; the caller holds
+// online.mu (or is the single-threaded startup replay). live=false suppresses
+// the traffic counters during replay. On an (unreachable if the plan is
+// sound) apply failure, whatever did fold is published so the served snapshot
+// never diverges from the fitter, and the fault is reported as the server's
+// own (500, not 400).
+func (s *Server) applyPlan(f *core.Fitter, plan *obsPlan, live bool) (*observeResponse, error) {
+	resp := &observeResponse{Appended: len(plan.appends)}
+	for _, g := range plan.folds {
+		if _, err := f.FoldIn(g.mode, g.obs); err != nil {
+			if len(resp.Folded) > 0 {
+				s.install(f.Snapshot())
+			}
+			return nil, fmt.Errorf("%w: fold-in mode %d: %v", errObserveInternal, g.mode, err)
 		}
+		resp.Folded = append(resp.Folded, foldResult{Mode: g.mode, Index: g.index, NNZ: len(g.obs)})
+		if live {
+			s.met.foldIns.Add(1)
+		}
+	}
+	if len(plan.appends) > 0 {
+		if err := f.Observe(plan.appends); err != nil {
+			if len(resp.Folded) > 0 {
+				s.install(f.Snapshot())
+			}
+			return nil, fmt.Errorf("%w: append: %v", errObserveInternal, err)
+		}
+	}
+	return resp, nil
+}
+
+// backgroundRefit runs a warm-started Refit over everything the fitter has
+// accumulated and publishes the result. It owns the fitter for the compute
+// but does NOT hold online.mu — concurrent observes stage instead of
+// blocking, and prediction traffic is unaffected as always. After the swap
+// it drains the staging queue into the fitter, closes the staging window,
+// and compacts the journal into a fresh snapshot. If a reload replaced the
+// online state while the refit ran, the refit is abandoned — the reloaded
+// model wins. The refit runs under the server's lifetime context, so Close
+// stops it within one ALS iteration instead of letting it outlive the
+// server.
+func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel context.CancelFunc) {
+	defer cancel()
+	o := &s.online
+	m, err := f.Refit(ctx, nil)
+
+	o.mu.Lock()
+	if o.fitter != f {
+		// A reload superseded this refit; it already closed the staging
+		// window and dropped the staged batches along with the online state.
+		o.refitting = false
+		o.refitFitter = nil
+		o.refitCancel = nil
+		o.mu.Unlock()
 		return
 	}
-	s.install(m)
-	s.met.refits.Add(1)
+	refitOK := err == nil
+	if refitOK {
+		s.met.refits.Add(1)
+	} else if !errors.Is(err, context.Canceled) {
+		s.met.refitErrors.Add(1)
+	}
+
+	// Drain the staging queue under mu, looping until a pass finds it empty —
+	// only then is the window closed, atomically with the last check, so no
+	// staged batch is ever stranded. Batches were validated at staging time
+	// against the same dims progression, so plan errors here are unreachable;
+	// a batch that still fails is dropped rather than wedging the drain.
+	drainedFolds := 0
+	for {
+		o.stageMu.Lock()
+		batches := o.staged
+		o.staged = nil
+		if len(batches) == 0 {
+			o.staging = false
+			o.stageMu.Unlock()
+			break
+		}
+		o.stageMu.Unlock()
+		for _, obs := range batches {
+			plan, perr := planObservations(f.Dims(), obs)
+			if perr != nil {
+				s.met.errors("observe").Add(1)
+				continue
+			}
+			resp, aerr := s.applyPlan(f, plan, true)
+			if aerr != nil {
+				s.met.errors("observe").Add(1)
+				continue
+			}
+			drainedFolds += len(resp.Folded)
+			o.pending += len(obs)
+		}
+	}
+
+	// The fitter returns to the observes (they take the normal path under mu
+	// from here on); refitting stays true until the compaction below is done
+	// so a second refit cannot start and race it on the journal.
+	o.refitFitter = nil
+
+	var final *core.Model
+	if refitOK || drainedFolds > 0 {
+		final = m
+		if !refitOK || drainedFolds > 0 {
+			final = f.Snapshot()
+		}
+		s.install(final)
+	}
+
+	// Capture what compaction needs while observes are quiesced (normal-path
+	// observes block on mu, staging is closed, so the journal cannot move):
+	// a deep copy of the training set and the exact sequence it covers. The
+	// heavy work — holdout scoring, model save, snapshot write — then runs
+	// off the lock; records appended meanwhile have later sequences and
+	// survive the journal rotation.
+	var compactX *tensor.Coord
+	var covered uint64
+	gen := o.gen
+	if refitOK && s.dir != nil {
+		compactX = f.TrainingSet()
+		covered = s.journal.LastSeq()
+	}
+	o.mu.Unlock()
+
+	if final != nil {
+		s.updateHoldout(final)
+	}
+	if compactX != nil {
+		s.compact(final, compactX, covered, gen)
+	}
+
+	o.mu.Lock()
+	o.refitting = false
+	o.refitCancel = nil
+	o.mu.Unlock()
 }
 
 // install publishes m as the serving snapshot. The empty path records that

@@ -32,8 +32,17 @@
 // rows via the row-wise solve of Eq. 4, and atomically publishes the grown
 // snapshot; once Options.RefitAfter observations accumulate, a background
 // warm-started refit rebalances the whole model and is swapped in the same
-// way. Every /v1/* endpoint is bounded by a request-body size limit (413)
-// and a per-request timeout (503).
+// way. Observes arriving during a refit are staged — validated, journaled,
+// buffered — and drained when the refit's result swaps in, so they never
+// block. Every /v1/* endpoint is bounded by a request-body size limit (413)
+// and a per-request timeout (503), and Options.AuthToken puts the mutating
+// endpoints behind a bearer token (401).
+//
+// With Options.DataDir the server is durable: accepted observations are
+// journaled before they are applied, the journal is replayed on startup
+// (a killed process restarts bit-identical to one that never crashed), and
+// successful refits compact journal + training set + model into the
+// directory — see durable.go and package store.
 package serve
 
 import (
@@ -42,11 +51,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/tensor"
 )
 
 // snapshot bundles everything derived from one loaded model. It is immutable
@@ -104,6 +116,25 @@ type Options struct {
 	// exceed it are answered 503. 0 means DefaultTimeout, negative disables
 	// the limit.
 	Timeout time.Duration
+	// DataDir enables durability: every /v1/observe batch is journaled
+	// before it is applied, the journal is replayed on startup (crash
+	// recovery), and successful refits compact it into model + training-set
+	// snapshots. When the directory already holds a persisted model, that
+	// model supersedes ModelPath/Model at startup — the data directory is
+	// the newest durable state. Empty disables durability.
+	DataDir string
+	// JournalSync selects the journal fsync policy (store.SyncAlways,
+	// SyncBatch with an interval, SyncNone). The zero value is SyncBatch at
+	// store.DefaultSyncInterval.
+	JournalSync store.SyncPolicy
+	// HoldoutPath names a held-out test tensor (text or binary format,
+	// auto-detected); when set, /metrics reports the served model's RMSE
+	// over it, re-scored after every refit and reload.
+	HoldoutPath string
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on the mutating endpoints (/v1/observe, /v1/reload); requests without
+	// it are answered 401. Read-only endpoints stay open.
+	AuthToken string
 }
 
 // DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
@@ -140,6 +171,26 @@ type Server struct {
 	maxBody int64
 	timeout time.Duration
 
+	// dir and journal are the durability handles (nil without a DataDir);
+	// holdout is the held-out RMSE tensor (nil without a HoldoutPath).
+	dir     *store.Dir
+	journal *store.Journal
+	holdout *tensor.Coord
+
+	// watchMod/watchSize snapshot ModelPath's stat at construction time, so
+	// a durable server's watcher can detect a deploy that lands during the
+	// startup window (model load + journal replay) instead of arming past it.
+	watchMod  time.Time
+	watchSize int64
+
+	// durMu serializes data-dir writers that may overlap (a reload re-base
+	// under online.mu vs. an off-lock post-refit compaction); durLastGen is
+	// the online.gen of the last applied write, so a compaction captured
+	// before a reload cannot overwrite the re-based directory. Lock order:
+	// online.mu may be held when taking durMu, never the reverse.
+	durMu      sync.Mutex
+	durLastGen int64
+
 	// life is the server's lifetime context; Close cancels it, stopping a
 	// background refit within one ALS iteration.
 	life     context.Context
@@ -171,12 +222,41 @@ func New(opts Options) (*Server, error) {
 		s.timeout = opts.Timeout
 	}
 
+	// Resolve the durable state first: a data directory with a persisted
+	// model (written by a compaction or a reload re-base) supersedes the
+	// configured model — it is the newest durable state, including whatever
+	// the process learned online before it last went down.
+	if opts.DataDir != "" {
+		dir, err := store.OpenDir(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.dir = dir
+		// Captured before the (possibly slow) load+replay below: a deploy
+		// over ModelPath landing mid-startup changes the stat the watcher
+		// arms with, so WatchModel still notices it.
+		s.watchSize = -1
+		if opts.ModelPath != "" {
+			if fi, err := os.Stat(opts.ModelPath); err == nil {
+				s.watchMod, s.watchSize = fi.ModTime(), fi.Size()
+			}
+		}
+	}
+
 	m := opts.Model
 	// srcPath is the provenance of the initial snapshot: "" when the model
 	// was handed over in memory (ModelPath, if set, is then only the
 	// default reload source — that file was never read).
 	srcPath := ""
-	if m == nil {
+	switch {
+	case s.dir != nil && s.dir.HasModel():
+		var err error
+		m, err = core.LoadModel(s.dir.ModelPath())
+		if err != nil {
+			return nil, fmt.Errorf("serve: data dir model: %w", err)
+		}
+		srcPath = s.dir.ModelPath()
+	case m == nil:
 		if opts.ModelPath == "" {
 			return nil, errors.New("serve: Options needs a ModelPath or a Model")
 		}
@@ -188,6 +268,18 @@ func New(opts Options) (*Server, error) {
 		srcPath = opts.ModelPath
 	}
 	s.cur.Store(newSnapshot(m, srcPath, opts.Workers, s.now()))
+
+	// Crash recovery: open the journal and replay uncovered records through
+	// the live plan/apply path, then load the held-out scoring set.
+	if err := s.initDurable(); err != nil {
+		return nil, err
+	}
+	if err := s.initHoldout(); err != nil {
+		if s.journal != nil {
+			s.journal.Close()
+		}
+		return nil, err
+	}
 
 	// MaxBatch 1 disables coalescing entirely: handlePredict scores on the
 	// caller's goroutine and no dispatcher is spun up.
@@ -234,26 +326,54 @@ func (s *Server) reload(path string) (*snapshot, error) {
 	// Swap and drop the online fitting state under one lock: the loaded
 	// model supersedes anything observed so far, and holding online.mu
 	// means an in-flight background refit either published before this swap
-	// or notices the reset and abandons its (now stale) result.
+	// or notices the reset and abandons its (now stale) result. The staging
+	// window is closed with it — staged batches belong to the dropped state.
+	// The durable re-base happens after the swap is committed: if it fails,
+	// the reload still stands in memory, and the data directory keeps the
+	// previous mutually-consistent state (old base + old journal), so a
+	// crash merely restarts pre-reload — far better than wiping journaled
+	// observations for a reload that never happened.
 	o := &s.online
 	o.mu.Lock()
 	s.cur.Store(snap)
 	o.fitter = nil
 	o.pending = 0
+	o.gen++
+	if o.refitCancel != nil {
+		// Abort an in-flight refit's compute (it runs on the abandoned
+		// fitter and its result would be discarded anyway).
+		o.refitCancel()
+	}
+	o.stageMu.Lock()
+	o.staging = false
+	o.staged = nil
+	o.stagedCount = 0
+	o.stageMu.Unlock()
+	s.rebaseDurable(m, o.gen)
 	o.mu.Unlock()
 
+	s.updateHoldout(m)
 	s.met.reloads.Add(1)
 	return snap, nil
 }
 
-// Close stops the coalescer and cancels any background refit (it aborts
-// within one ALS iteration). Idempotent. Shut the http.Server down first
-// (so no handler is mid-submit), then Close; predictions still queued at
-// that point are answered with ErrServerClosed.
+// Close stops the coalescer, cancels any background refit (it aborts within
+// one ALS iteration), and flushes and closes the journal. Idempotent. Shut
+// the http.Server down first (so no handler is mid-submit), then Close;
+// predictions still queued at that point are answered with ErrServerClosed.
 func (s *Server) Close() {
 	s.lifeStop()
 	if s.coal != nil {
 		s.coal.stop()
+	}
+	if s.journal != nil {
+		// Quiesce observes (and any refit end-phase) before the final flush,
+		// so nothing appends to a closed journal.
+		s.online.mu.Lock()
+		s.online.stageMu.Lock()
+		_ = s.journal.Close()
+		s.online.stageMu.Unlock()
+		s.online.mu.Unlock()
 	}
 }
 
@@ -266,8 +386,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/predict", s.withTimeout(s.handlePredict))
 	mux.Handle("/v1/predict-batch", s.withTimeout(s.handlePredictBatch))
 	mux.Handle("/v1/recommend", s.withTimeout(s.handleRecommend))
-	mux.Handle("/v1/observe", s.withTimeout(s.handleObserve))
-	mux.Handle("/v1/reload", s.withTimeout(s.handleReload))
+	mux.Handle("/v1/observe", s.requireAuth(s.withTimeout(s.handleObserve)))
+	mux.Handle("/v1/reload", s.requireAuth(s.withTimeout(s.handleReload)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.met.handler(s.snapshot))
 	return mux

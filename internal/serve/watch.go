@@ -16,11 +16,17 @@ import (
 //
 // The first successful stat always reloads: a deploy that lands between
 // server start and watcher start is reconciled instead of missed, at the
-// cost of one redundant reload on startup. Reload failures (e.g. a
-// half-written file copied without an atomic rename) leave the old model
-// serving and are retried every tick until a good file lands, so the
-// watcher self-heals. A vanished file is treated the same way: keep
-// serving, keep polling.
+// cost of one redundant reload on startup. The exception is a durable
+// server (DataDir set): every reload re-bases the data directory — journal
+// reset, sidecar cleared — so a reconcile reload of an unchanged file would
+// wipe journaled online learning for nothing (and when the directory's own
+// model supersedes ModelPath, the watched file is by definition older
+// state). There the watcher arms itself with the file's current stat
+// instead, so only a genuinely new deploy (the file changing after
+// startup) triggers a reload. Reload failures (e.g. a half-written file
+// copied without an atomic rename) leave the old model serving and are
+// retried every tick until a good file lands, so the watcher self-heals. A
+// vanished file is treated the same way: keep serving, keep polling.
 func (s *Server) WatchModel(ctx context.Context, interval time.Duration) error {
 	if s.opts.ModelPath == "" {
 		return errors.New("serve: no model path to watch")
@@ -31,6 +37,11 @@ func (s *Server) WatchModel(ctx context.Context, interval time.Duration) error {
 
 	var lastMod time.Time // zero: the first stat never matches, forcing the reconcile reload
 	var lastSize int64 = -1
+	if s.dir != nil {
+		// Arm with the stat captured at construction time (see New), so a
+		// deploy that landed during startup still reads as a change.
+		lastMod, lastSize = s.watchMod, s.watchSize
+	}
 
 	t := time.NewTicker(interval)
 	defer t.Stop()

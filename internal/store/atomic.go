@@ -1,0 +1,57 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeAtomic is the package's one crash-safe commit protocol: fill a temp
+// file in the target's directory, fsync it, rename it over path (the atomic
+// commit point), and fsync the directory entry. A reader — including one
+// racing a crash — sees either the old file or the complete new one, never
+// a torn write. When keep is true the temp file's descriptor, which after
+// the rename IS the file at path, is returned open for continued use (the
+// journal rotates onto it); otherwise it is closed and (nil, nil) is
+// returned on success.
+func writeAtomic(path string, keep bool, fill func(*os.File) error) (*os.File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*os.File, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := fill(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fail(err)
+	}
+	_ = syncDir(dir)
+	if keep {
+		return tmp, nil
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash. Some
+// filesystems don't support fsync on directories; those errors are ignored —
+// the rename itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// timing-based assertions (TestBinaryLoadSpeedup) skip themselves, since
+// instrumentation skews the two loaders' costs differently.
+const raceEnabled = true

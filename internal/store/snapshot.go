@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// A training snapshot is a binary tensor snapshot prefixed with the journal
+// sequence it covers: every journal record with Seq ≤ coveredSeq is already
+// part of the tensor. The prefix is what makes snapshot+journal crash-
+// consistent — the snapshot rename is the single commit point, and replay
+// simply skips covered records, so a crash landing between "snapshot
+// renamed" and "journal rotated" cannot double-apply a batch.
+//
+// Layout (little-endian):
+//
+//	magic "PTKS" | version u32 | coveredSeq u64 | crc32 of bytes 0..16 u32 |
+//	tensor binary stream (tensor.WriteBinary, self-checksummed)
+
+// SnapshotMagic is the 4-byte signature of a training-snapshot container.
+const SnapshotMagic = "PTKS"
+
+const (
+	snapshotVersion    = 1
+	snapshotHeaderSize = 20
+)
+
+// WriteSnapshot persists x and the journal sequence it covers to path,
+// crash-safely (see writeAtomic for the commit protocol).
+func WriteSnapshot(path string, x *tensor.Coord, coveredSeq uint64) error {
+	head := make([]byte, snapshotHeaderSize)
+	copy(head[0:4], SnapshotMagic)
+	binary.LittleEndian.PutUint32(head[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(head[8:16], coveredSeq)
+	binary.LittleEndian.PutUint32(head[16:20], crc32.ChecksumIEEE(head[0:16]))
+
+	_, err := writeAtomic(path, false, func(f *os.File) error {
+		if _, err := f.Write(head); err != nil {
+			return err
+		}
+		return tensor.WriteBinary(f, x)
+	})
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a training snapshot. It also accepts a bare binary
+// tensor snapshot (no container header), reporting coveredSeq 0 — so a
+// tensor written by `ptucker -save-tensor` can seed a data directory
+// directly.
+func ReadSnapshot(path string) (*tensor.Coord, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read snapshot %s: %w", path, err)
+	}
+	var coveredSeq uint64
+	if string(magic) == SnapshotMagic {
+		head := make([]byte, snapshotHeaderSize)
+		if _, err := io.ReadFull(br, head); err != nil {
+			return nil, 0, fmt.Errorf("store: read snapshot %s: truncated header: %v", path, err)
+		}
+		if v := binary.LittleEndian.Uint32(head[4:8]); v != snapshotVersion {
+			return nil, 0, fmt.Errorf("store: read snapshot %s: unsupported version %d", path, v)
+		}
+		if crc32.ChecksumIEEE(head[0:16]) != binary.LittleEndian.Uint32(head[16:20]) {
+			return nil, 0, fmt.Errorf("store: read snapshot %s: header checksum mismatch", path)
+		}
+		coveredSeq = binary.LittleEndian.Uint64(head[8:16])
+	}
+	x, err := tensor.ReadBinary(br, 0, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read snapshot %s: %w", path, err)
+	}
+	return x, coveredSeq, nil
+}

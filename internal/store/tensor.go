@@ -1,0 +1,38 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// WriteTensor persists t to path in the binary snapshot format, crash-safely
+// (see writeAtomic for the commit protocol).
+func WriteTensor(path string, t *tensor.Coord) error {
+	_, err := writeAtomic(path, false, func(f *os.File) error {
+		return tensor.WriteBinary(f, t)
+	})
+	if err != nil {
+		return fmt.Errorf("store: write tensor: %w", err)
+	}
+	return nil
+}
+
+// ReadTensor loads a binary tensor snapshot written by WriteTensor (or
+// tensor.WriteBinaryFile). The snapshot carries its own shape; no order or
+// dims are needed. For text files use tensor.ReadFile, which auto-detects
+// both encodings.
+func ReadTensor(path string) (*tensor.Coord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	x, err := tensor.ReadBinary(bufio.NewReaderSize(f, 1<<16), 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("store: read tensor %s: %w", path, err)
+	}
+	return x, nil
+}

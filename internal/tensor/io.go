@@ -119,12 +119,25 @@ func Read(r io.Reader, order int, dims []int) (*Coord, error) {
 	return t, nil
 }
 
-// ReadFile reads a sparse tensor from the named file.
+// ReadFile reads a sparse tensor from the named file. The encoding is
+// auto-detected: files opening with the binary snapshot magic (see
+// WriteBinary / store.WriteTensor) take the fixed-width binary path, anything
+// else is parsed as the text format — existing call sites transparently
+// accept either. For binary files order may be 0 (the snapshot declares its
+// own order).
 func ReadFile(path string, order int, dims []int) (*Coord, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f, order, dims)
+	br := bufio.NewReaderSize(f, 1<<16)
+	format, err := DetectFormat(br)
+	if err != nil {
+		return nil, err
+	}
+	if format == FormatBinary {
+		return ReadBinary(br, order, dims)
+	}
+	return Read(br, order, dims)
 }

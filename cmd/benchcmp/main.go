@@ -1,0 +1,224 @@
+// Command benchcmp turns `go test -bench` output into a compact JSON summary
+// and gates CI on it: parse one or more bench logs, aggregate repeated
+// -count runs (minimum ns/op — the least-noise estimator), and optionally
+// compare against a checked-in baseline, failing when any benchmark's ns/op
+// regressed past a threshold.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 100x -count 3 ./... > bench.txt
+//	benchcmp -out BENCH.json bench.txt                      # emit only
+//	benchcmp -baseline BENCH_BASELINE.json -threshold 30 \
+//	    -out BENCH.json bench.txt                           # emit + gate
+//
+// With no file arguments the log is read from stdin. The benchmark name's
+// GOMAXPROCS suffix ("-8") is stripped, so logs taken at different -cpu
+// settings compare by the same key. The gate fails (exit 1) when a
+// benchmark's ns/op exceeds baseline × (1 + threshold/100), and when a
+// baseline benchmark is missing from the current log — silently losing bench
+// coverage must not pass. Benchmarks absent from the baseline are reported
+// as new and do not fail the gate; refresh the baseline to start tracking
+// them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result is one benchmark's summary, keyed by its normalized name.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Runs is how many log lines (e.g. -count repetitions) were aggregated.
+	Runs int `json:"runs"`
+}
+
+// benchFile is the emitted JSON document.
+type benchFile struct {
+	// Note documents provenance (how to regenerate); informational only.
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]*result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub=1-8  	 100	 12345 ns/op	 12.3 preds/flush	 45 B/op	 3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.+)$`)
+
+// parseLog folds every benchmark line of r into acc (created entries keep
+// the minimum ns/op across repetitions).
+func parseLog(r io.Reader, acc map[string]*result) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[3]
+		ns, allocs, ok := parseMetrics(rest)
+		if !ok {
+			continue
+		}
+		cur, exists := acc[name]
+		if !exists {
+			acc[name] = &result{NsPerOp: ns, AllocsPerOp: allocs, Runs: 1}
+			continue
+		}
+		cur.Runs++
+		if ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		if allocs < cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+	}
+	return sc.Err()
+}
+
+// metricPair matches "value unit" fields after the iteration count, e.g.
+// "12345 ns/op" or "3 allocs/op".
+var metricPair = regexp.MustCompile(`(\S+)\s+(\S+)`)
+
+// parseMetrics extracts ns/op and allocs/op from the tail of a bench line.
+// allocs/op is absent unless the benchmark calls ReportAllocs or -benchmem
+// is set; it defaults to 0 then.
+func parseMetrics(rest string) (ns, allocs float64, ok bool) {
+	for _, m := range metricPair.FindAllStringSubmatch(rest, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		switch m[2] {
+		case "ns/op":
+			ns, ok = v, true
+		case "allocs/op":
+			allocs = v
+		}
+	}
+	return ns, allocs, ok
+}
+
+// compare gates current against baseline: regressions are ns/op past the
+// threshold and baseline benchmarks missing from current. Returns the lines
+// to print and whether the gate failed.
+func compare(baseline, current map[string]*result, thresholdPct float64) (lines []string, failed bool) {
+	limit := 1 + thresholdPct/100
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("FAIL %-60s missing from current run (baseline %.0f ns/op)", name, base.NsPerOp))
+			failed = true
+			continue
+		}
+		ratio := 0.0
+		if base.NsPerOp > 0 {
+			ratio = cur.NsPerOp / base.NsPerOp
+		}
+		status := "ok  "
+		if ratio > limit {
+			status = "FAIL"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s %-60s %12.0f → %12.0f ns/op  (%+.1f%%)  allocs %v → %v",
+			status, name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100, base.AllocsPerOp, cur.AllocsPerOp))
+	}
+
+	var fresh []string
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		lines = append(lines, fmt.Sprintf("new  %-60s %12.0f ns/op (not in baseline)", name, current[name].NsPerOp))
+	}
+	return lines, failed
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline BENCH JSON to gate against (empty: emit only)")
+		threshold    = flag.Float64("threshold", 30, "allowed ns/op regression in percent")
+		out          = flag.String("out", "", "write the parsed BENCH JSON here (empty: stdout)")
+		note         = flag.String("note", "", "provenance note stored in the emitted JSON")
+	)
+	flag.Parse()
+
+	acc := make(map[string]*result)
+	if flag.NArg() == 0 {
+		if err := parseLog(os.Stdin, acc); err != nil {
+			fatalf("stdin: %v", err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		err = parseLog(f, acc)
+		f.Close()
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+	}
+	if len(acc) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+
+	doc := benchFile{Note: *note, Benchmarks: acc}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchcmp: %d benchmarks → %s\n", len(acc), *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("%s: %v", *baselinePath, err)
+	}
+	lines, failed := compare(base.Benchmarks, acc, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: ns/op regressed more than %.0f%% against %s\n", *threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: within %.0f%% of %s\n", *threshold, *baselinePath)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+cpu: Some CPU @ 2.00GHz
+BenchmarkServeCoalescedPredict/shards=1-8         	    5000	     24100 ns/op	        61.2 preds/flush	     120 B/op	       3 allocs/op
+BenchmarkServeCoalescedPredict/shards=1-8         	    5000	     22800 ns/op	        60.9 preds/flush	     118 B/op	       3 allocs/op
+BenchmarkServeCoalescedPredict/shards=4-8         	    5000	      9400 ns/op	        15.1 preds/flush	      40 B/op	       1 allocs/op
+BenchmarkPredict-8                                	 2000000	       812 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFoldIn                                   	     300	    401223 ns/op
+PASS
+ok  	repro/internal/serve	12.3s
+`
+
+func parseSample(t *testing.T) map[string]*result {
+	t.Helper()
+	acc := make(map[string]*result)
+	if err := parseLog(strings.NewReader(sampleLog), acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestParseLog(t *testing.T) {
+	acc := parseSample(t)
+	if len(acc) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(acc), acc)
+	}
+
+	// The -8 cpu suffix is stripped; repeated counts keep the min ns/op.
+	r, ok := acc["BenchmarkServeCoalescedPredict/shards=1"]
+	if !ok {
+		t.Fatal("shards=1 benchmark not found under its normalized name")
+	}
+	if r.NsPerOp != 22800 || r.Runs != 2 || r.AllocsPerOp != 3 {
+		t.Fatalf("shards=1: %+v", r)
+	}
+	// A line without -cpu suffix or allocs parses too.
+	if r := acc["BenchmarkFoldIn"]; r == nil || r.NsPerOp != 401223 || r.AllocsPerOp != 0 {
+		t.Fatalf("FoldIn: %+v", r)
+	}
+	if r := acc["BenchmarkPredict"]; r == nil || r.NsPerOp != 812 {
+		t.Fatalf("Predict: %+v", r)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]*result{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1000},
+	}
+
+	// Within threshold (+20%), improved, and a new benchmark: gate passes.
+	cur := map[string]*result{
+		"BenchmarkA": {NsPerOp: 1200},
+		"BenchmarkB": {NsPerOp: 700},
+		"BenchmarkC": {NsPerOp: 1000},
+		"BenchmarkD": {NsPerOp: 50},
+	}
+	lines, failed := compare(base, cur, 30)
+	if failed {
+		t.Fatalf("gate failed within threshold:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "new  BenchmarkD") {
+		t.Fatalf("new benchmark not reported:\n%s", joined)
+	}
+
+	// Past threshold: gate fails.
+	cur["BenchmarkA"] = &result{NsPerOp: 1301}
+	if _, failed := compare(base, cur, 30); !failed {
+		t.Fatal("gate passed a +30.1% regression at threshold 30")
+	}
+
+	// A baseline benchmark missing from the run fails the gate: losing
+	// coverage must be loud.
+	delete(cur, "BenchmarkB")
+	cur["BenchmarkA"] = &result{NsPerOp: 1000}
+	lines, failed = compare(base, cur, 30)
+	if !failed {
+		t.Fatal("gate passed with a baseline benchmark missing")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "missing from current run") {
+		t.Fatalf("missing benchmark not named:\n%s", strings.Join(lines, "\n"))
+	}
+}

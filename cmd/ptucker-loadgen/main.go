@@ -1,0 +1,380 @@
+// Command ptucker-loadgen is a closed-loop load generator for ptucker-serve:
+// a fixed number of connections each issue one request at a time — predict,
+// predict-batch, or recommend, in a configurable ratio — for a fixed
+// duration, and the run is summarized as JSON: sustained QPS plus
+// p50/p95/p99 latency per operation.
+//
+// Closed-loop means throughput is what the server actually sustains with
+// -conns concurrent clients (each waits for its answer before sending the
+// next request), so the numbers compose directly with the serve layer's
+// micro-batching: more connections → fuller coalescer batches → higher QPS.
+//
+// The target's shape is discovered from /healthz; request indices are drawn
+// uniformly from the advertised dims with a deterministic seed, so two runs
+// against the same model issue the same queries.
+//
+// Usage:
+//
+//	ptucker-loadgen -addr http://localhost:8080 -conns 64 -duration 30s \
+//	    -mix predict=8,batch=1,recommend=1 -batch-size 32 -k 10 -out report.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// config is one load-generation run, separated from flag parsing so tests
+// can drive runs in-process.
+type config struct {
+	Addr      string        // base URL of the target server
+	Conns     int           // concurrent closed-loop connections
+	Duration  time.Duration // how long to generate load
+	Mix       string        // weighted op mix, e.g. "predict=8,batch=1,recommend=1"
+	BatchSize int           // indices per predict-batch request
+	K         int           // top-K size per recommend request
+	Seed      int64         // RNG seed (per-connection streams derive from it)
+	Timeout   time.Duration // per-request client timeout
+}
+
+// opNames are the generator's operations; mix weights refer to these.
+var opNames = []string{"predict", "batch", "recommend"}
+
+// opReport summarizes one operation's latency distribution.
+type opReport struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// report is the run summary, marshaled as the tool's JSON output.
+type report struct {
+	Addr        string               `json:"addr"`
+	Connections int                  `json:"connections"`
+	DurationSec float64              `json:"duration_seconds"`
+	Requests    int64                `json:"requests"`
+	Errors      int64                `json:"errors"`
+	QPS         float64              `json:"qps"`
+	Ops         map[string]*opReport `json:"ops"`
+}
+
+// connStats is one connection's private tally, merged after the run so the
+// hot loop shares nothing.
+type connStats struct {
+	count  [3]int64
+	errors [3]int64
+	lats   [3][]int64 // nanoseconds, one series per op
+}
+
+// parseMix reads "predict=8,batch=1,recommend=1" into per-op weights. Ops
+// omitted from the string get weight 0; at least one weight must be positive.
+func parseMix(mix string) ([3]float64, error) {
+	var w [3]float64
+	total := 0.0
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return w, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || v < 0 {
+			return w, fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for i, name := range opNames {
+			if strings.TrimSpace(kv[0]) == name {
+				w[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("unknown op %q (want predict, batch, or recommend)", kv[0])
+		}
+		total += v
+	}
+	if total <= 0 {
+		return w, fmt.Errorf("mix %q has no positive weight", mix)
+	}
+	return w, nil
+}
+
+// pickOp samples an operation index from the cumulative weights.
+func pickOp(rng *rand.Rand, cum [3]float64) int {
+	r := rng.Float64() * cum[2]
+	for i, c := range cum {
+		if r < c {
+			return i
+		}
+	}
+	return 2
+}
+
+// healthResponse is the slice of /healthz the generator needs.
+type healthResponse struct {
+	Dims []int `json:"dims"`
+}
+
+// discoverDims asks /healthz for the served model's shape.
+func discoverDims(client *http.Client, addr string) ([]int, error) {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	if len(h.Dims) == 0 {
+		return nil, fmt.Errorf("healthz: server advertises no dims")
+	}
+	for k, d := range h.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("healthz: mode %d has dimension %d", k, d)
+		}
+	}
+	return h.Dims, nil
+}
+
+// run executes one closed-loop load generation against cfg.Addr.
+func run(cfg config) (*report, error) {
+	if cfg.Conns <= 0 {
+		return nil, fmt.Errorf("loadgen: need at least one connection")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need a positive duration")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	weights, err := parseMix(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	var cum [3]float64
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Conns,
+			MaxIdleConnsPerHost: cfg.Conns,
+		},
+	}
+	dims, err := discoverDims(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := make([]*connStats, cfg.Conns)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		st := &connStats{}
+		stats[c] = st
+		wg.Add(1)
+		go func(conn int, st *connStats) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(conn)*7919))
+			gen := requestGen{rng: rng, dims: dims, batch: cfg.BatchSize, k: cfg.K}
+			for time.Now().Before(deadline) {
+				op := pickOp(rng, cum)
+				path, body := gen.next(op)
+				t0 := time.Now()
+				ok := post(client, cfg.Addr+path, body)
+				lat := time.Since(t0)
+				st.count[op]++
+				if !ok {
+					st.errors[op]++
+					continue
+				}
+				st.lats[op] = append(st.lats[op], lat.Nanoseconds())
+			}
+		}(c, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Addr:        cfg.Addr,
+		Connections: cfg.Conns,
+		DurationSec: elapsed.Seconds(),
+		Ops:         make(map[string]*opReport, len(opNames)),
+	}
+	for i, name := range opNames {
+		var merged []int64
+		op := &opReport{}
+		for _, st := range stats {
+			op.Count += st.count[i]
+			op.Errors += st.errors[i]
+			merged = append(merged, st.lats[i]...)
+		}
+		if op.Count == 0 {
+			continue
+		}
+		sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+		op.P50Ms = percentileMs(merged, 0.50)
+		op.P95Ms = percentileMs(merged, 0.95)
+		op.P99Ms = percentileMs(merged, 0.99)
+		if n := len(merged); n > 0 {
+			op.MaxMs = float64(merged[n-1]) / 1e6
+		}
+		rep.Ops[name] = op
+		rep.Requests += op.Count
+		rep.Errors += op.Errors
+	}
+	if rep.DurationSec > 0 {
+		rep.QPS = float64(rep.Requests-rep.Errors) / rep.DurationSec
+	}
+	return rep, nil
+}
+
+// percentileMs reads the q-th quantile (nearest-rank on a sorted series) in
+// milliseconds.
+func percentileMs(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e6
+}
+
+// requestGen builds random valid request bodies against the served shape.
+type requestGen struct {
+	rng   *rand.Rand
+	dims  []int
+	batch int
+	k     int
+}
+
+func (g *requestGen) index() []int {
+	idx := make([]int, len(g.dims))
+	for k, d := range g.dims {
+		idx[k] = g.rng.Intn(d)
+	}
+	return idx
+}
+
+// next returns the endpoint path and JSON body for one request of op.
+func (g *requestGen) next(op int) (string, []byte) {
+	switch op {
+	case 0:
+		body, _ := json.Marshal(struct {
+			Index []int `json:"index"`
+		}{g.index()})
+		return "/v1/predict", body
+	case 1:
+		idxs := make([][]int, g.batch)
+		for i := range idxs {
+			idxs[i] = g.index()
+		}
+		body, _ := json.Marshal(struct {
+			Indexes [][]int `json:"indexes"`
+		}{idxs})
+		return "/v1/predict-batch", body
+	default:
+		q := g.index()
+		mode := g.rng.Intn(len(g.dims))
+		body, _ := json.Marshal(struct {
+			Query []int `json:"query"`
+			Mode  int   `json:"mode"`
+			K     int   `json:"k"`
+		}{q, mode, g.k})
+		return "/v1/recommend", body
+	}
+}
+
+// post issues one request and reports success. The body is drained so the
+// transport can reuse the connection — essential for closed-loop throughput.
+func post(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the ptucker-serve instance")
+		conns    = flag.Int("conns", 32, "concurrent closed-loop connections")
+		duration = flag.Duration("duration", 30*time.Second, "how long to generate load")
+		mix      = flag.String("mix", "predict=8,batch=1,recommend=1", "weighted op mix (predict, batch, recommend)")
+		batch    = flag.Int("batch-size", 16, "indices per predict-batch request")
+		k        = flag.Int("k", 10, "top-K per recommend request")
+		seed     = flag.Int64("seed", 1, "RNG seed (per-connection streams derive from it)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		out      = flag.String("out", "", "write the JSON report here instead of stdout")
+		failErrs = flag.Bool("fail-on-errors", false, "exit non-zero if any request errored")
+	)
+	flag.Parse()
+
+	rep, err := run(config{
+		Addr:      strings.TrimRight(*addr, "/"),
+		Conns:     *conns,
+		Duration:  *duration,
+		Mix:       *mix,
+		BatchSize: *batch,
+		K:         *k,
+		Seed:      *seed,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ptucker-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if *failErrs && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "ptucker-loadgen: %d of %d requests errored\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func tinyModel(t testing.TB) *core.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	dims := []int{20, 16, 12}
+	x := tensor.NewCoord(dims)
+	idx := make([]int, 3)
+	for x.NNZ() < 800 {
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+		}
+		x.MustAppend(idx, rng.Float64())
+	}
+	cfg := core.Defaults([]int{3, 3, 3})
+	cfg.MaxIters = 2
+	cfg.Tol = 0
+	cfg.Seed = 5
+	m, err := core.Decompose(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("predict=8,batch=1,recommend=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [3]float64{8, 1, 1} {
+		t.Fatalf("weights = %v", w)
+	}
+	if w, err := parseMix("predict=1"); err != nil || w != [3]float64{1, 0, 0} {
+		t.Fatalf("predict-only mix: %v %v", w, err)
+	}
+	for _, bad := range []string{"", "predict=0", "nope=1", "predict", "predict=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenSmoke is the CI end-to-end gate: a sharded server over a tiny
+// model takes mixed closed-loop load for the smoke window and must answer
+// every request (zero errors, non-zero QPS). CI runs it for 30s via
+// LOADGEN_SMOKE_DURATION; the default keeps local `go test` fast.
+func TestLoadgenSmoke(t *testing.T) {
+	d := 2 * time.Second
+	if env := os.Getenv("LOADGEN_SMOKE_DURATION"); env != "" {
+		parsed, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("LOADGEN_SMOKE_DURATION=%q: %v", env, err)
+		}
+		d = parsed
+	}
+
+	s, err := serve.New(serve.Options{Model: tinyModel(t), MaxBatch: 32, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := run(config{
+		Addr:      ts.URL,
+		Conns:     8,
+		Duration:  d,
+		Mix:       "predict=8,batch=1,recommend=1",
+		BatchSize: 8,
+		K:         5,
+		Seed:      1,
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("loadgen issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d of %d requests errored", rep.Errors, rep.Requests)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("QPS = %v, want > 0", rep.QPS)
+	}
+	// Every op in the mix must have been exercised and summarized.
+	for _, name := range opNames {
+		op, ok := rep.Ops[name]
+		if !ok || op.Count == 0 {
+			t.Fatalf("op %q missing from the report: %+v", name, rep.Ops)
+		}
+		if op.P99Ms < op.P50Ms {
+			t.Fatalf("op %q: p99 %vms < p50 %vms", name, op.P99Ms, op.P50Ms)
+		}
+	}
+	t.Logf("loadgen smoke: %d requests in %.1fs → %.0f QPS (predict p99 %.2fms)",
+		rep.Requests, rep.DurationSec, rep.QPS, rep.Ops["predict"].P99Ms)
+}

@@ -12,11 +12,19 @@
 // observations and folds brand-new indices in as fresh factor rows, and
 // -refit-after N triggers a background warm refit every N observations.
 //
+// Concurrent /v1/predict calls are micro-batched by -shards parallel
+// dispatcher shards (default: scaled from GOMAXPROCS), each coalescing up to
+// -max-batch queued predictions into one batched kernel pass; /metrics
+// reports per-shard flush and occupancy counters.
+//
 // With -data-dir the process is durable: every accepted observe batch is
 // journaled (fsync policy: -journal-sync) before it is applied, the journal
 // is replayed on startup so a crash loses nothing, and a successful refit
 // compacts journal + training set + model into the directory — which then
-// supersedes -model on the next start. -auth-token guards the mutating
+// supersedes -model on the next start. -compact-bytes N additionally
+// compacts (snapshotting the grown model and training set without a refit)
+// whenever the journal outgrows N bytes, so a server running without
+// -refit-after keeps a bounded journal. -auth-token guards the mutating
 // endpoints with a bearer token; -holdout reports held-out RMSE on /metrics
 // across refits. Request bodies are capped at -max-body bytes (413) and each
 // request is bounded by -timeout (503). SIGINT/SIGTERM drain the listener
@@ -55,11 +63,13 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "PredictBatch worker goroutines (0 = GOMAXPROCS)")
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
+		shards      = flag.Int("shards", 0, "coalescer dispatcher shards, each with its own queue and flush loop (0 = auto from GOMAXPROCS)")
 		refitAfter  = flag.Int("refit-after", 0, "background warm refit after this many /v1/observe observations (0 disables)")
 		maxBody     = flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes on /v1/* (larger bodies get 413; <0 disables)")
 		timeout     = flag.Duration("timeout", serve.DefaultTimeout, "per-request handling bound on /v1/* (exceeded requests get 503; <0 disables)")
 		watch       = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
 		dataDir     = flag.String("data-dir", "", "durability directory: journal observes, replay on startup, compact after refits (empty disables)")
+		compactB    = flag.Int64("compact-bytes", 0, "compact the journal (snapshot model + training set, no refit) once it exceeds this many bytes (0 disables; needs -data-dir)")
 		journalSync = flag.String("journal-sync", "batch", "journal fsync policy: always, none, batch, or a batching interval like 250ms")
 		holdout     = flag.String("holdout", "", "held-out test tensor (text or binary); RMSE is reported on /metrics across refits")
 		authToken   = flag.String("auth-token", "", "bearer token required on mutating endpoints (/v1/observe, /v1/reload); empty leaves them open")
@@ -76,14 +86,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *compactB > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -compact-bytes needs -data-dir")
+		os.Exit(2)
+	}
+
 	s, err := serve.New(serve.Options{
 		ModelPath:    *model,
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
+		Shards:       *shards,
 		RefitAfter:   *refitAfter,
 		MaxBodyBytes: *maxBody,
 		Timeout:      *timeout,
 		DataDir:      *dataDir,
+		CompactBytes: *compactB,
 		JournalSync:  syncPolicy,
 		HoldoutPath:  *holdout,
 		AuthToken:    *authToken,
@@ -138,8 +155,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("ptucker-serve: serving %s on %s (workers=%d, max-batch=%d)",
-		*model, *addr, *workers, *maxBatch)
+	log.Printf("ptucker-serve: serving %s on %s (workers=%d, max-batch=%d, shards=%d)",
+		*model, *addr, *workers, *maxBatch, s.Shards())
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ptucker-serve: %v", err)

@@ -2,27 +2,44 @@ package serve
 
 import (
 	"context"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// coalescer groups concurrent single predictions into PredictBatch calls.
+// coalescer groups concurrent single predictions into PredictBatch calls,
+// sharded across independent dispatcher goroutines so flush assembly does not
+// serialize on many-core boxes.
 //
-// The dispatch loop blocks for the first request, then greedily drains
+// Submissions round-robin across shards (an atomic cursor — cheaper than
+// hashing and immune to hot-key skew). Each shard owns its queue and flush
+// loop: the dispatcher blocks for the first request, then greedily drains
 // whatever else is already queued (up to maxBatch) without waiting — so an
 // idle server answers a lone request with zero added latency, while a busy
 // server naturally accumulates a batch during each in-progress flush and
-// amortizes the kernel's per-call overhead across it. Every flush scores
-// its whole batch against one snapshot grabbed at flush time: a model
-// reload between two flushes is therefore atomic from the client's view,
-// and no batch ever mixes models.
+// amortizes the kernel's per-call overhead across it. With S shards, up to S
+// flushes assemble and score concurrently, which is the same
+// one-queue-per-worker discipline CSF/SPLATT-style kernels use to keep sparse
+// work parallel.
+//
+// Every flush scores its whole batch against one snapshot grabbed at flush
+// time: a model reload between two flushes is therefore atomic from the
+// client's view, and no batch ever mixes models. Shards grab snapshots
+// independently — two concurrent flushes may briefly score different
+// generations, exactly as two back-to-back flushes of a single dispatcher
+// would.
+//
+// The hot path allocates nothing: predCall objects (with their 1-buffered
+// answer channels) recycle through a sync.Pool, and each shard reuses its own
+// batch/index scratch across flushes — only the dispatcher goroutine touches
+// it, so no locking is needed.
 type coalescer struct {
-	ch       chan *predCall
-	done     chan struct{}
-	stopOnce sync.Once
-	stopped  chan struct{}
+	shards   []*coalShard
+	rr       atomic.Uint64 // round-robin submission cursor
 	maxBatch int
 	snap     func() *snapshot
 	met      *metrics
+	stopOnce sync.Once
 }
 
 // predCall is one queued prediction; out is buffered so the dispatcher never
@@ -37,67 +54,148 @@ type predAnswer struct {
 	err error
 }
 
-func newCoalescer(maxBatch int, snap func() *snapshot, met *metrics) *coalescer {
-	return &coalescer{
-		ch:       make(chan *predCall, 4*maxBatch),
-		done:     make(chan struct{}),
-		stopped:  make(chan struct{}),
-		maxBatch: maxBatch,
-		snap:     snap,
-		met:      met,
+// callPool recycles predCall objects across requests. A call is returned to
+// the pool only by a caller that consumed its answer (or never submitted it)
+// — an abandoned call (context cancelled, shutdown race) may still be
+// written to by a dispatcher and is left for the garbage collector instead.
+var callPool = sync.Pool{
+	New: func() interface{} { return &predCall{out: make(chan predAnswer, 1)} },
+}
+
+// recycleCall clears the caller-owned index and returns the call to the
+// pool; the one place the pool invariant lives.
+func recycleCall(call *predCall) {
+	call.idx = nil
+	callPool.Put(call)
+}
+
+// coalShard is one dispatcher: a submission queue, a flush loop, and scratch
+// buffers reused across flushes. batch and idxs are touched only by the
+// shard's own dispatcher goroutine.
+type coalShard struct {
+	c       *coalescer
+	id      int
+	ch      chan *predCall
+	done    chan struct{}
+	stopped chan struct{}
+	batch   []*predCall
+	idxs    [][]int
+}
+
+// maxAutoShards caps the automatic shard count: each flush already fans its
+// batch out across the predictor's workers, so past a point more dispatchers
+// only add scheduling churn.
+const maxAutoShards = 16
+
+// defaultShards picks the shard count for a box with procs schedulable
+// threads: half the procs (the other half score batches), at least one,
+// capped at maxAutoShards.
+func defaultShards(procs int) int {
+	s := procs / 2
+	if s < 1 {
+		s = 1
+	}
+	if s > maxAutoShards {
+		s = maxAutoShards
+	}
+	return s
+}
+
+func newCoalescer(maxBatch, shards int, snap func() *snapshot, met *metrics) *coalescer {
+	if shards <= 0 {
+		shards = defaultShards(runtime.GOMAXPROCS(0))
+	}
+	c := &coalescer{maxBatch: maxBatch, snap: snap, met: met}
+	met.initShards(shards)
+	c.shards = make([]*coalShard, shards)
+	for i := range c.shards {
+		c.shards[i] = &coalShard{
+			c:       c,
+			id:      i,
+			ch:      make(chan *predCall, 4*maxBatch),
+			done:    make(chan struct{}),
+			stopped: make(chan struct{}),
+			batch:   make([]*predCall, 0, maxBatch),
+			idxs:    make([][]int, 0, maxBatch),
+		}
+	}
+	return c
+}
+
+func (c *coalescer) start() {
+	for _, sh := range c.shards {
+		go sh.run()
 	}
 }
 
-func (c *coalescer) start() { go c.run() }
-
-// stop ends the dispatch loop and fails whatever is still queued with
-// ErrServerClosed. Idempotent. Callers must stop the HTTP listener first so
-// no handler is concurrently submitting.
+// stop ends every shard's dispatch loop and fails whatever is still queued
+// with ErrServerClosed. Idempotent. Callers must stop the HTTP listener first
+// so no handler is concurrently submitting.
 func (c *coalescer) stop() {
-	c.stopOnce.Do(func() { close(c.done) })
-	<-c.stopped
+	c.stopOnce.Do(func() {
+		for _, sh := range c.shards {
+			close(sh.done)
+		}
+	})
+	for _, sh := range c.shards {
+		<-sh.stopped
+	}
 }
 
-func (c *coalescer) run() {
-	defer close(c.stopped)
-	batch := make([]*predCall, 0, c.maxBatch)
+// queueDepths samples every shard's queue length; /metrics exposes it as the
+// per-shard occupancy gauge.
+func (c *coalescer) queueDepths() []int {
+	d := make([]int, len(c.shards))
+	for i, sh := range c.shards {
+		d[i] = len(sh.ch)
+	}
+	return d
+}
+
+func (sh *coalShard) run() {
+	defer close(sh.stopped)
 	for {
-		batch = batch[:0]
+		sh.batch = sh.batch[:0]
 		select {
-		case <-c.done:
-			c.drainClosed()
+		case <-sh.done:
+			sh.drainClosed()
 			return
-		case first := <-c.ch:
-			batch = append(batch, first)
+		case first := <-sh.ch:
+			sh.batch = append(sh.batch, first)
 		}
 	fill:
-		for len(batch) < c.maxBatch {
+		for len(sh.batch) < sh.c.maxBatch {
 			select {
-			case call := <-c.ch:
-				batch = append(batch, call)
+			case call := <-sh.ch:
+				sh.batch = append(sh.batch, call)
 			default:
 				break fill
 			}
 		}
-		c.flush(batch)
+		sh.flush()
 	}
 }
 
 // flush scores one batch against a single snapshot. The common all-valid
 // case validates each index exactly once (PredictBatchChecked's pass);
 // only when the batch contains a malformed index does flush fall back to
-// per-item validation so each caller gets its own error.
-func (c *coalescer) flush(batch []*predCall) {
-	snap := c.snap()
-	idxs := make([][]int, len(batch))
-	for i, call := range batch {
-		idxs[i] = call.idx
+// per-item validation so each caller gets its own error. After an answer is
+// sent the call belongs to its caller again (it may be recycled and
+// resubmitted immediately), so the dispatcher never touches a call past its
+// send.
+func (sh *coalShard) flush() {
+	snap := sh.c.snap()
+	batch := sh.batch
+	idxs := sh.idxs[:0]
+	for _, call := range batch {
+		idxs = append(idxs, call.idx)
 	}
+	sh.idxs = idxs
 	if vals, err := snap.pred.PredictBatchChecked(idxs); err == nil {
 		for i, call := range batch {
 			call.out <- predAnswer{val: vals[i]}
 		}
-		c.recordFlush(len(batch))
+		sh.record(len(batch))
 		return
 	}
 
@@ -111,6 +209,7 @@ func (c *coalescer) flush(batch []*predCall) {
 		valid = append(valid, call)
 		idxs = append(idxs, call.idx)
 	}
+	sh.idxs = idxs
 	if len(valid) == 0 {
 		return
 	}
@@ -118,20 +217,24 @@ func (c *coalescer) flush(batch []*predCall) {
 	for i, call := range valid {
 		call.out <- predAnswer{val: vals[i]}
 	}
-	c.recordFlush(len(valid))
+	sh.record(len(valid))
 }
 
-func (c *coalescer) recordFlush(n int) {
-	c.met.flushes.Add(1)
-	c.met.coalesced.Add(int64(n))
-	c.met.predictions.Add(int64(n))
+func (sh *coalShard) record(n int) {
+	m := sh.c.met
+	m.flushes.Add(1)
+	m.coalesced.Add(int64(n))
+	m.predictions.Add(int64(n))
+	m.shardFlushes[sh.id].Add(1)
+	m.shardCoalesced[sh.id].Add(int64(n))
 }
 
-// drainClosed empties the queue after done closed, failing each waiter.
-func (c *coalescer) drainClosed() {
+// drainClosed empties the shard's queue after done closed, failing each
+// waiter.
+func (sh *coalShard) drainClosed() {
 	for {
 		select {
-		case call := <-c.ch:
+		case call := <-sh.ch:
 			call.out <- predAnswer{err: ErrServerClosed}
 		default:
 			return
@@ -139,31 +242,40 @@ func (c *coalescer) drainClosed() {
 	}
 }
 
-// predict submits one index and waits for its batch to flush. A cancelled
-// ctx abandons the wait (the buffered answer channel lets the dispatcher
-// complete the entry without blocking).
+// predict submits one index to a round-robin-chosen shard and waits for its
+// batch to flush. A cancelled ctx abandons the wait (the buffered answer
+// channel lets the dispatcher complete the entry without blocking).
 func (c *coalescer) predict(ctx context.Context, idx []int) (float64, error) {
-	call := &predCall{idx: idx, out: make(chan predAnswer, 1)}
+	sh := c.shards[c.rr.Add(1)%uint64(len(c.shards))]
+	call := callPool.Get().(*predCall)
+	call.idx = idx
 	select {
-	case c.ch <- call:
-	case <-c.done:
+	case sh.ch <- call:
+	case <-sh.done:
+		recycleCall(call) // never submitted
 		return 0, ErrServerClosed
 	case <-ctx.Done():
+		recycleCall(call) // never submitted
 		return 0, ctx.Err()
 	}
 	select {
 	case ans := <-call.out:
+		recycleCall(call)
 		return ans.val, ans.err
-	case <-c.done:
+	case <-sh.done:
 		// The dispatcher may have answered concurrently with shutdown;
 		// prefer the real answer if it is already there.
 		select {
 		case ans := <-call.out:
+			recycleCall(call)
 			return ans.val, ans.err
 		default:
+			// Still queued: drainClosed will answer it. Not recyclable.
 			return 0, ErrServerClosed
 		}
 	case <-ctx.Done():
+		// Abandoned mid-flight: the dispatcher may still write the answer, so
+		// the call must not be recycled.
 		return 0, ctx.Err()
 	}
 }

@@ -94,10 +94,15 @@ func (s *Server) initDurable() error {
 	// Replayed observations were never refitted; they count toward the next
 	// RefitAfter trigger like the live traffic they were.
 	s.online.pending = obs
+	s.durLastCovered = covered
 	if folds > 0 {
 		s.install(f.Snapshot())
 	}
 	s.met.journalReplayed.Store(int64(records))
+	// A process restarted with an already-oversized journal (say it crashed
+	// repeatedly before ever compacting) compacts right away instead of
+	// waiting for the next observe. New is still single-threaded here.
+	s.maybeCompactBySize(f)
 	return nil
 }
 
@@ -132,6 +137,14 @@ func (s *Server) compact(m *core.Model, x *tensor.Coord, covered uint64, gen int
 		// state on the next restart.
 		return
 	}
+	if covered < s.durLastCovered {
+		// A compaction covering more of the journal already committed (a
+		// size-triggered pass racing a refit's, in either order). Writing
+		// this older capture would pair a training snapshot that lacks
+		// records covered..durLastCovered with a journal that already
+		// rotated them out — observations lost on the next replay.
+		return
+	}
 	if err := core.SaveModel(s.dir.ModelPath(), m); err != nil {
 		log.Printf("serve: compaction: persist model: %v (journal kept; will replay on restart)", err)
 		s.met.compactionErrors.Add(1)
@@ -142,7 +155,47 @@ func (s *Server) compact(m *core.Model, x *tensor.Coord, covered uint64, gen int
 		s.met.compactionErrors.Add(1)
 		return
 	}
+	s.durLastCovered = covered
 	s.met.compactions.Add(1)
+}
+
+// maybeCompactBySize starts a background journal compaction — without a
+// refit — once the journal file exceeds Options.CompactBytes. It closes the
+// unbounded-journal gap for servers running with refits disabled: the
+// current grown model and a deep copy of the accumulated training set are
+// snapshotted into the data dir (the same covered-sequence container a
+// refit's compaction uses), and the covered records rotate out of the
+// journal. A restart then loads the persisted model and replays only what
+// arrived after the capture — bit-identical state, no refit required.
+//
+// The caller holds online.mu (or is the single-threaded startup), so the
+// capture — model snapshot, training-set copy, covered sequence — is
+// consistent with the fitter. The writes themselves run off the lock; a
+// concurrent refit's compaction is ordered by durMu and the covered-sequence
+// guard in compact. One size-triggered pass runs at a time (compactBusy),
+// and none while a refit is in flight — the refit's own compaction, which
+// also persists the refit's better model, is moments away.
+func (s *Server) maybeCompactBySize(f *core.Fitter) {
+	o := &s.online
+	if s.dir == nil || s.opts.CompactBytes <= 0 || o.refitting {
+		return
+	}
+	// An empty journal is all header; nothing to compact no matter how small
+	// the threshold.
+	if s.journal.Len() == 0 || s.journal.Size() < s.opts.CompactBytes {
+		return
+	}
+	if !s.compactBusy.CompareAndSwap(false, true) {
+		return
+	}
+	m := f.Snapshot()
+	x := f.TrainingSet()
+	covered := s.journal.LastSeq()
+	gen := o.gen
+	go func() {
+		defer s.compactBusy.Store(false)
+		s.compact(m, x, covered, gen)
+	}()
 }
 
 // rebaseDurable resets the durable state around a committed reload: the
@@ -169,6 +222,9 @@ func (s *Server) rebaseDurable(m *core.Model, gen int64) {
 	s.durMu.Lock()
 	defer s.durMu.Unlock()
 	s.durLastGen = gen
+	// The reset discards everything journaled so far; record its sequence so
+	// a stale compaction capture cannot re-cover rotated records.
+	s.durLastCovered = s.journal.LastSeq()
 	err := s.journal.Reset()
 	if err == nil {
 		err = s.dir.RemoveTrainingTensor()

@@ -579,3 +579,93 @@ func TestWatchDoesNotRebaseDataDirOnStartup(t *testing.T) {
 	waitFor(t, "deploy reload", func() bool { return s.met.reloads.Load() > 0 })
 	waitFor(t, "journal re-base", func() bool { return s.journal.Len() == 0 })
 }
+
+// TestSizeTriggeredCompaction: with refits disabled, a journal crossing
+// CompactBytes is compacted in the background — the grown model and the
+// accumulated training set are snapshotted without a refit, the covered
+// records rotate out, and a restart over the directory replays nothing yet
+// serves bit-identical predictions.
+func TestSizeTriggeredCompaction(t *testing.T) {
+	m := fitModel(t, 9)
+	dir := t.TempDir()
+	s, err := New(Options{Model: m, DataDir: dir, CompactBytes: 1,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch (with a fold-in, so the persisted model must carry the grown
+	// row) pushes the journal past the 1-byte threshold.
+	stream := observeStream(47, 8)
+	for _, b := range stream {
+		postObserve(t, s, b)
+	}
+	waitFor(t, "size-triggered compaction", func() bool { return s.met.compactions.Load() > 0 })
+	if got := s.met.refits.Load(); got != 0 {
+		t.Fatalf("%d refits ran; size-triggered compaction must not refit", got)
+	}
+	// Let any in-flight compaction settle before closing (compactBusy is the
+	// single-flight latch).
+	waitFor(t, "compaction settled", func() bool { return !s.compactBusy.Load() })
+
+	preClose := predictionGrid(t, s)
+	s.online.mu.Lock()
+	preNNZ := s.online.fitter.NNZ()
+	s.online.mu.Unlock()
+	s.Close()
+
+	d, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasModel() {
+		t.Fatal("size-triggered compaction left no model in the data dir")
+	}
+	x, covered, err := d.TrainingSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == nil || covered == 0 {
+		t.Fatalf("no covered training snapshot after compaction (covered=%d)", covered)
+	}
+
+	// Restart: the persisted model supersedes the stale in-memory base, and
+	// only post-compaction records (if any) replay.
+	s2, err := New(Options{Model: m, DataDir: dir,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Fewer records replay than were observed: the compaction's covered
+	// prefix comes back through the persisted model + training snapshot, not
+	// the journal.
+	if got := s2.met.journalReplayed.Load(); got >= int64(len(stream)) {
+		t.Fatalf("replayed %d records, want fewer than the %d observed (compaction covered a prefix)", got, len(stream))
+	}
+	sameBits(t, preClose, predictionGrid(t, s2), "restart after size-triggered compaction")
+	s2.online.mu.Lock()
+	gotNNZ := s2.online.fitter.NNZ()
+	s2.online.mu.Unlock()
+	if gotNNZ != preNNZ {
+		t.Fatalf("training set diverged across compaction restart: %d vs %d entries", gotNNZ, preNNZ)
+	}
+}
+
+// TestCompactBytesDisabledKeepsJournal: without CompactBytes the journal of a
+// refit-less server only grows — the regression this feature closes — and
+// with it the journal stays bounded by rotation.
+func TestCompactBytesDisabledKeepsJournal(t *testing.T) {
+	m := fitModel(t, 9)
+	s, _ := testServer(t, Options{Model: m, DataDir: t.TempDir(),
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	for _, b := range observeStream(48, 6) {
+		postObserve(t, s, b)
+	}
+	if got := s.met.compactions.Load(); got != 0 {
+		t.Fatalf("%d compactions ran with CompactBytes=0", got)
+	}
+	if got := s.journal.Len(); got != 6 {
+		t.Fatalf("journal has %d records, want 6 (nothing rotated)", got)
+	}
+}

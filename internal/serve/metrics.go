@@ -40,6 +40,17 @@ type metrics struct {
 
 	holdoutSet  atomic.Bool   // a held-out set is configured and scored
 	holdoutRMSE atomic.Uint64 // float64 bits of the latest held-out RMSE
+
+	// Per-shard coalescer counters, sized by initShards before the
+	// dispatchers start (read-only slice headers afterwards).
+	shardFlushes   []atomic.Int64 // flushes executed, by shard
+	shardCoalesced []atomic.Int64 // predictions coalesced, by shard
+}
+
+// initShards sizes the per-shard counters; called once, before serving.
+func (m *metrics) initShards(n int) {
+	m.shardFlushes = make([]atomic.Int64, n)
+	m.shardCoalesced = make([]atomic.Int64, n)
 }
 
 func (m *metrics) init() {
@@ -66,8 +77,9 @@ func (m *metrics) errors(endpoint string) *atomic.Int64 {
 }
 
 // handler renders the counters in the Prometheus text exposition format,
-// plus gauges describing the current snapshot.
-func (m *metrics) handler(snap func() *snapshot) http.HandlerFunc {
+// plus gauges describing the current snapshot. depths samples the coalescer
+// shards' queue lengths (nil when coalescing is disabled).
+func (m *metrics) handler(snap func() *snapshot, depths func() []int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
@@ -98,6 +110,25 @@ func (m *metrics) handler(snap func() *snapshot) http.HandlerFunc {
 		fmt.Fprintln(w, "# HELP ptucker_coalesced_predictions_total Single predictions served through the coalescer.")
 		fmt.Fprintln(w, "# TYPE ptucker_coalesced_predictions_total counter")
 		fmt.Fprintf(w, "ptucker_coalesced_predictions_total %d\n", m.coalesced.Load())
+		if len(m.shardFlushes) > 0 {
+			fmt.Fprintln(w, "# HELP ptucker_shard_flushes_total Coalescer flushes executed, by dispatcher shard.")
+			fmt.Fprintln(w, "# TYPE ptucker_shard_flushes_total counter")
+			for i := range m.shardFlushes {
+				fmt.Fprintf(w, "ptucker_shard_flushes_total{shard=\"%d\"} %d\n", i, m.shardFlushes[i].Load())
+			}
+			fmt.Fprintln(w, "# HELP ptucker_shard_coalesced_total Single predictions coalesced, by dispatcher shard.")
+			fmt.Fprintln(w, "# TYPE ptucker_shard_coalesced_total counter")
+			for i := range m.shardCoalesced {
+				fmt.Fprintf(w, "ptucker_shard_coalesced_total{shard=\"%d\"} %d\n", i, m.shardCoalesced[i].Load())
+			}
+		}
+		if depths != nil {
+			fmt.Fprintln(w, "# HELP ptucker_shard_queue_depth Queued predictions awaiting a flush, by dispatcher shard (sampled).")
+			fmt.Fprintln(w, "# TYPE ptucker_shard_queue_depth gauge")
+			for i, d := range depths() {
+				fmt.Fprintf(w, "ptucker_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+			}
+		}
 		fmt.Fprintln(w, "# HELP ptucker_reloads_total Successful model reloads.")
 		fmt.Fprintln(w, "# TYPE ptucker_reloads_total counter")
 		fmt.Fprintf(w, "ptucker_reloads_total %d\n", m.reloads.Load())

@@ -204,6 +204,10 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 		o.stageMu.Unlock()
 		go s.backgroundRefit(rctx, f, cancel)
 	}
+	// Size-triggered journal compaction (no refit): checked after the refit
+	// trigger so a batch that just started a refit defers to that refit's own
+	// compaction instead of racing it.
+	s.maybeCompactBySize(f)
 	resp.Dims = f.Dims()
 	resp.Pending = o.pending
 	return resp, nil

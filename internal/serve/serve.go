@@ -22,10 +22,13 @@
 // non-panicking PredictChecked/ValidateIndex paths — a bad request can not
 // crash the process.
 //
-// Concurrent single predictions are coalesced: /v1/predict submits to a
-// dispatcher that drains whatever is queued (up to MaxBatch) and scores it
-// with one PredictBatch call, trading nothing on an idle server (a lone
-// request flushes immediately) for fewer, larger kernel passes under load.
+// Concurrent single predictions are coalesced: /v1/predict submits to one of
+// Options.Shards dispatcher shards (round-robin), each of which drains
+// whatever is queued on it (up to MaxBatch) and scores it with one
+// PredictBatch call — trading nothing on an idle server (a lone request
+// flushes immediately) for fewer, larger kernel passes under load, with up to
+// Shards flushes assembling in parallel so batch assembly never serializes on
+// a single goroutine.
 //
 // The model also learns online: /v1/observe appends new observations,
 // folds brand-new indices (cold-start users, new items) in as fresh factor
@@ -104,6 +107,11 @@ type Options struct {
 	// MaxBatch caps how many queued single predictions one coalescer flush
 	// scores together (0 = DefaultMaxBatch; 1 disables coalescing).
 	MaxBatch int
+	// Shards is the number of coalescer dispatcher shards. Each shard owns
+	// its own submission queue and flush loop, so up to Shards batches
+	// assemble and score concurrently. 0 picks an automatic count scaled
+	// from GOMAXPROCS; ignored when MaxBatch is 1 (no coalescer).
+	Shards int
 	// RefitAfter triggers a background warm refit (and snapshot swap) once
 	// that many observations have arrived via /v1/observe since the last
 	// refit. 0 disables automatic refits; fold-ins still publish immediately.
@@ -123,6 +131,13 @@ type Options struct {
 	// model supersedes ModelPath/Model at startup — the data directory is
 	// the newest durable state. Empty disables durability.
 	DataDir string
+	// CompactBytes triggers a journal compaction — without a refit — once
+	// the journal file grows past this many bytes: the current grown model
+	// and the accumulated training set are snapshotted into the data dir
+	// and the covered records are rotated out. This bounds the journal of a
+	// server running with refits disabled (RefitAfter 0). 0 disables
+	// size-triggered compaction; ignored without a DataDir.
+	CompactBytes int64
 	// JournalSync selects the journal fsync policy (store.SyncAlways,
 	// SyncBatch with an interval, SyncNone). The zero value is SyncBatch at
 	// store.DefaultSyncInterval.
@@ -186,10 +201,18 @@ type Server struct {
 	// durMu serializes data-dir writers that may overlap (a reload re-base
 	// under online.mu vs. an off-lock post-refit compaction); durLastGen is
 	// the online.gen of the last applied write, so a compaction captured
-	// before a reload cannot overwrite the re-based directory. Lock order:
-	// online.mu may be held when taking durMu, never the reverse.
-	durMu      sync.Mutex
-	durLastGen int64
+	// before a reload cannot overwrite the re-based directory, and
+	// durLastCovered is the highest journal sequence a committed write
+	// covered, so a compaction captured earlier (size-triggered racing a
+	// refit's) cannot roll the training snapshot back. Lock order: online.mu
+	// may be held when taking durMu, never the reverse.
+	durMu          sync.Mutex
+	durLastGen     int64
+	durLastCovered uint64
+
+	// compactBusy admits one size-triggered compaction at a time; see
+	// maybeCompactBySize.
+	compactBusy atomic.Bool
 
 	// life is the server's lifetime context; Close cancels it, stopping a
 	// background refit within one ALS iteration.
@@ -284,10 +307,19 @@ func New(opts Options) (*Server, error) {
 	// MaxBatch 1 disables coalescing entirely: handlePredict scores on the
 	// caller's goroutine and no dispatcher is spun up.
 	if opts.MaxBatch > 1 {
-		s.coal = newCoalescer(opts.MaxBatch, s.snapshot, &s.met)
+		s.coal = newCoalescer(opts.MaxBatch, opts.Shards, s.snapshot, &s.met)
 		s.coal.start()
 	}
 	return s, nil
+}
+
+// Shards reports the number of coalescer dispatcher shards serving
+// /v1/predict (0 when coalescing is disabled).
+func (s *Server) Shards() int {
+	if s.coal == nil {
+		return 0
+	}
+	return len(s.coal.shards)
 }
 
 // snapshot returns the current model snapshot; callers use one snapshot for
@@ -389,7 +421,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/observe", s.requireAuth(s.withTimeout(s.handleObserve)))
 	mux.Handle("/v1/reload", s.requireAuth(s.withTimeout(s.handleReload)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.met.handler(s.snapshot))
+	var depths func() []int
+	if s.coal != nil {
+		depths = s.coal.queueDepths
+	}
+	mux.HandleFunc("/metrics", s.met.handler(s.snapshot, depths))
 	return mux
 }
 

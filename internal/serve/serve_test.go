@@ -550,6 +550,9 @@ func TestMaxBatchOneBypassesCoalescer(t *testing.T) {
 	if got := s.met.flushes.Load(); got != 0 {
 		t.Fatalf("coalescer flushed %d times with MaxBatch=1", got)
 	}
+	if got := s.Shards(); got != 0 {
+		t.Fatalf("Shards() = %d with MaxBatch=1, want 0 (no dispatchers spun up)", got)
+	}
 	if got := s.met.predictions.Load(); got != 1 {
 		t.Fatalf("predictions counter = %d want 1", got)
 	}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestDefaultShards pins the auto-scaling rule: half the procs, at least one,
+// capped.
+func TestDefaultShards(t *testing.T) {
+	cases := []struct{ procs, want int }{
+		{1, 1}, {2, 1}, {4, 2}, {8, 4}, {16, 8}, {64, 16}, {128, 16},
+	}
+	for _, tc := range cases {
+		if got := defaultShards(tc.procs); got != tc.want {
+			t.Errorf("defaultShards(%d) = %d, want %d", tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestShardedCoalescerAnswersMatchUnderLoad: many distinct predictions race
+// into batches spread across 4 shards; every caller must get exactly its own
+// answer, and — since submission round-robins — every shard must have
+// flushed at least once (the fairness guarantee). Run with -race.
+func TestShardedCoalescerAnswersMatchUnderLoad(t *testing.T) {
+	m := fitModel(t, 7)
+	const shards = 4
+	s, err := New(Options{Model: m, MaxBatch: 16, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Shards(); got != shards {
+		t.Fatalf("Shards() = %d, want %d", got, shards)
+	}
+	p := core.NewPredictor(m)
+	dims := p.Dims()
+	rng := rand.New(rand.NewSource(11))
+
+	type job struct {
+		idx  []int
+		want float64
+	}
+	jobs := make([]job, 600)
+	for i := range jobs {
+		idx := make([]int, len(dims))
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+		}
+		jobs[i] = job{idx, p.Predict(idx)}
+	}
+
+	// Sustained load: several waves, so shards keep flushing rather than
+	// draining one burst.
+	errs := make(chan string, len(jobs))
+	for wave := 0; wave < 3; wave++ {
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				got, err := s.coal.predict(context.Background(), j.idx)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(j.want) {
+					errs <- fmt.Sprintf("coalesced %v = %v want %v", j.idx, got, j.want)
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	var flushes, coalesced int64
+	for i := 0; i < shards; i++ {
+		f := s.met.shardFlushes[i].Load()
+		if f == 0 {
+			t.Errorf("shard %d never flushed under sustained load", i)
+		}
+		flushes += f
+		coalesced += s.met.shardCoalesced[i].Load()
+	}
+	if flushes != s.met.flushes.Load() {
+		t.Errorf("per-shard flushes sum to %d, total counter says %d", flushes, s.met.flushes.Load())
+	}
+	if coalesced != int64(3*len(jobs)) {
+		t.Errorf("per-shard coalesced sum to %d, want %d", coalesced, 3*len(jobs))
+	}
+	if s.met.coalesced.Load() != coalesced {
+		t.Errorf("coalesced counter %d != per-shard sum %d", s.met.coalesced.Load(), coalesced)
+	}
+}
+
+// TestShardedReloadWhileFlushing: reload between two models continuously
+// while all shards are mid-flush; every answer must be exactly one model's —
+// a flush that mixed snapshots would produce a third value. Run with -race.
+func TestShardedReloadWhileFlushing(t *testing.T) {
+	mA, mB := fitModel(t, 7), fitModel(t, 8)
+	s, err := New(Options{Model: mA, MaxBatch: 8, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	idx := []int{3, 5, 2}
+	wantA := math.Float64bits(core.NewPredictor(mA).Predict(idx))
+	wantB := math.Float64bits(core.NewPredictor(mB).Predict(idx))
+	if wantA == wantB {
+		t.Fatal("fixture models predict identically; test cannot observe the swap")
+	}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		models := []*core.Model{mB, mA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.install(models[i%2])
+		}
+	}()
+
+	const clients = 16
+	const perClient = 200
+	errs := make(chan string, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				got, err := s.coal.predict(context.Background(), idx)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if bits := math.Float64bits(got); bits != wantA && bits != wantB {
+					errs <- fmt.Sprintf("answer %x is neither model A's %x nor model B's %x", bits, wantA, wantB)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestShardedShutdownDrain: Close while predictions are queued on every
+// shard must fail each waiter with ErrServerClosed (or answer it), never
+// hang. Run with -race.
+func TestShardedShutdownDrain(t *testing.T) {
+	m := fitModel(t, 7)
+	s, err := New(Options{Model: m, MaxBatch: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 80; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.coal.predict(context.Background(), []int{1, 2, 3})
+		}()
+	}
+	s.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued predictions did not drain after Close")
+	}
+}
+
+// TestShardedCancelledCallerDoesNotWedgeShard: a caller whose context
+// expires abandons its wait; the shard must complete the flush and keep
+// serving later callers.
+func TestShardedCancelledCallerDoesNotWedgeShard(t *testing.T) {
+	m := fitModel(t, 7)
+	s, err := New(Options{Model: m, MaxBatch: 8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 20; i++ {
+		if _, err := s.coal.predict(ctx, []int{1, 2, 3}); err == nil {
+			t.Fatal("cancelled predict returned no error")
+		}
+	}
+	// The shards must still answer live callers.
+	p := core.NewPredictor(m)
+	want := p.Predict([]int{3, 5, 2})
+	for i := 0; i < 8; i++ {
+		got, err := s.coal.predict(context.Background(), []int{3, 5, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("post-cancel predict = %v want %v", got, want)
+		}
+	}
+}
+
+// TestShardMetricsExposed: /metrics reports the per-shard counters and the
+// sampled queue-depth gauge for every shard.
+func TestShardMetricsExposed(t *testing.T) {
+	s, ts := testServer(t, Options{MaxBatch: 8, Shards: 3})
+
+	// Push one prediction through so shard counters are live.
+	if _, err := s.coal.predict(context.Background(), []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for i := 0; i < 3; i++ {
+		for _, metric := range []string{"ptucker_shard_flushes_total", "ptucker_shard_coalesced_total", "ptucker_shard_queue_depth"} {
+			want := fmt.Sprintf("%s{shard=\"%d\"}", metric, i)
+			if !strings.Contains(text, want) {
+				t.Errorf("metrics output missing %q", want)
+			}
+		}
+	}
+	// Counters across shards must reconcile with the aggregate.
+	var sum int64
+	for i := range s.met.shardCoalesced {
+		sum += s.met.shardCoalesced[i].Load()
+	}
+	if sum != s.met.coalesced.Load() {
+		t.Errorf("per-shard coalesced sum %d != aggregate %d", sum, s.met.coalesced.Load())
+	}
+}

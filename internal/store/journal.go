@@ -384,6 +384,15 @@ func (j *Journal) Len() int {
 	return j.count
 }
 
+// Size returns the journal file's current length in bytes (header included):
+// the end of the last intact record, where the next append goes. Callers use
+// it to trigger size-based compaction.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.off
+}
+
 // LastSeq returns the sequence number of the newest record (0 if empty).
 func (j *Journal) LastSeq() uint64 {
 	j.mu.Lock()

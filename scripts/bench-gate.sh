@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench-gate.sh — run the CI-gated benchmark set with fixed iteration counts
+# and append the raw `go test -bench` output to the log file named by $1
+# (default bench.txt). Fixed -benchtime/-count keeps runs comparable; the
+# gate itself is cmd/benchcmp:
+#
+#   refresh baseline:  scripts/bench-gate.sh bench.txt &&
+#                      go run ./cmd/benchcmp -note "$(go env GOOS)/$(go env GOARCH)" \
+#                          -out BENCH_BASELINE.json bench.txt
+#   gate (CI):         scripts/bench-gate.sh bench.txt &&
+#                      go run ./cmd/benchcmp -baseline BENCH_BASELINE.json \
+#                          -threshold 30 -out BENCH.json bench.txt
+#
+# The baseline is hardware-specific: refresh it (same PR) whenever the CI
+# runner class changes or a deliberate perf trade lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-bench.txt}"
+: > "$out"
+
+# Iteration counts are pinned per benchmark so runs stay comparable, and
+# sized so every measurement window is tens of milliseconds at least —
+# sub-millisecond windows would make the 30% gate flake on scheduler noise.
+
+# Serving kernel, single-cell reconstruction (~1µs/op → ~100ms windows).
+go test -run '^$' -bench '^(BenchmarkPredict|BenchmarkPredictorPredict)$' -benchtime 100000x -count 3 . | tee -a "$out"
+# Batched reconstruction (~5ms/op → ~0.5s windows).
+go test -run '^$' -bench '^BenchmarkPredictBatch(Serial)?$' -benchtime 100x -count 3 . | tee -a "$out"
+# Coalesced /v1/predict hot path, single-dispatcher baseline vs 4 shards
+# (~1µs/op → ~100ms windows; steady state, not warmup).
+go test -run '^$' -bench '^BenchmarkServeCoalescedPredict$' -benchtime 100000x -count 3 -cpu 4 ./internal/serve | tee -a "$out"
+# Online fold-in, Eq. 9 single-row solve (~12µs/op → ~60ms windows).
+go test -run '^$' -bench '^BenchmarkFoldIn$' -benchtime 5000x -count 3 ./internal/core | tee -a "$out"
+# Binary tensor snapshot load (~230µs/op → ~100ms windows).
+go test -run '^$' -bench '^BenchmarkBinaryRead$' -benchtime 500x -count 3 ./internal/store | tee -a "$out"

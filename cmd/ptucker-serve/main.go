@@ -24,7 +24,10 @@
 // supersedes -model on the next start. -compact-bytes N additionally
 // compacts (snapshotting the grown model and training set without a refit)
 // whenever the journal outgrows N bytes, so a server running without
-// -refit-after keeps a bounded journal. -auth-token guards the mutating
+// -refit-after keeps a bounded journal; -compact-age D does the same on a
+// wall-clock bound, compacting once the oldest unsnapshotted record is older
+// than D, so a low-traffic server's restart replay stays short too.
+// -auth-token guards the mutating
 // endpoints with a bearer token; -holdout reports held-out RMSE on /metrics
 // across refits. Request bodies are capped at -max-body bytes (413) and each
 // request is bounded by -timeout (503). SIGINT/SIGTERM drain the listener
@@ -70,6 +73,7 @@ func main() {
 		watch       = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
 		dataDir     = flag.String("data-dir", "", "durability directory: journal observes, replay on startup, compact after refits (empty disables)")
 		compactB    = flag.Int64("compact-bytes", 0, "compact the journal (snapshot model + training set, no refit) once it exceeds this many bytes (0 disables; needs -data-dir)")
+		compactAge  = flag.Duration("compact-age", 0, "compact the journal once its oldest uncovered record is older than this wall-clock age (0 disables; needs -data-dir)")
 		journalSync = flag.String("journal-sync", "batch", "journal fsync policy: always, none, batch, or a batching interval like 250ms")
 		holdout     = flag.String("holdout", "", "held-out test tensor (text or binary); RMSE is reported on /metrics across refits")
 		authToken   = flag.String("auth-token", "", "bearer token required on mutating endpoints (/v1/observe, /v1/reload); empty leaves them open")
@@ -90,6 +94,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptucker-serve: -compact-bytes needs -data-dir")
 		os.Exit(2)
 	}
+	if *compactAge > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -compact-age needs -data-dir")
+		os.Exit(2)
+	}
 
 	s, err := serve.New(serve.Options{
 		ModelPath:    *model,
@@ -101,6 +109,7 @@ func main() {
 		Timeout:      *timeout,
 		DataDir:      *dataDir,
 		CompactBytes: *compactB,
+		CompactAge:   *compactAge,
 		JournalSync:  syncPolicy,
 		HoldoutPath:  *holdout,
 		AuthToken:    *authToken,

@@ -1,0 +1,122 @@
+// Command ptucker-vet is the project's static-analysis multichecker. It
+// runs every analyzer in internal/analysis/... over the packages matching
+// the given `go list` patterns and exits non-zero if any unsuppressed
+// finding remains:
+//
+//	go run ./cmd/ptucker-vet ./...
+//
+// Findings are printed one per line as path:line:col: analyzer: message.
+// A finding is silenced at its site with
+//
+//	//ptlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory. Run with
+// -list to see the analyzers and what each enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicwrite"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/metricnames"
+	"repro/internal/analysis/seededrand"
+)
+
+// analyzers is the full suite, in output order.
+var analyzers = []*analysis.Analyzer{
+	atomicwrite.Analyzer,
+	lockorder.Analyzer,
+	maporder.Analyzer,
+	metricnames.Analyzer,
+	seededrand.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ptucker-vet [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = "packages " + join(a.Packages)
+			}
+			fmt.Printf("%-12s %s (%s)\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	l := analysis.NewLoader(root)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptucker-vet: %s: %v\n", pkg.Path, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(analysis.FormatDiagnostic(pkg, d))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ptucker-vet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

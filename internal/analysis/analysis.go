@@ -1,0 +1,121 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// mirroring the shape of golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic), built only on the standard library's go/ast, go/parser and
+// go/types. The repository pins its deep invariants — deterministic float
+// accumulation, the serving layer's lock hierarchy, journal-before-apply
+// durability — with project-specific analyzers that run as a blocking CI
+// step (cmd/ptucker-vet); the upstream framework is not vendored so the
+// module stays free of third-party dependencies and builds offline.
+//
+// Packages are loaded from source and typechecked against compiled export
+// data obtained from `go list -export` (see load.go), the same mechanism
+// the upstream driver uses. Analyzers report Diagnostics; findings can be
+// suppressed at the site with a justified marker comment:
+//
+//	//ptlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory — a marker without one does not suppress anything and is itself
+// reported (see suppress.go) — so every exception to an invariant carries
+// its justification in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in ptlint:ignore
+	// markers. Lowercase, no spaces.
+	Name string
+	// Doc is a short description, shown by `ptucker-vet -list`.
+	Doc string
+	// Packages, when non-empty, restricts the analyzer to packages with
+	// these names (not import paths — the numeric packages are addressed
+	// as core, hooi, mat, ...). Empty means every package.
+	Packages []string
+	// Run reports the analyzer's findings on one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs on a package with the given
+// package name.
+func (a *Analyzer) AppliesTo(pkgName string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one typechecked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the pass in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Run executes the analyzers applicable to pkg and returns their findings
+// with suppression markers applied (suppressed findings removed, malformed
+// or unknown markers reported as analyzer "ptlint"). Findings are sorted by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		if !a.AppliesTo(pkg.Name) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = suppress(pkg, diags, known)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

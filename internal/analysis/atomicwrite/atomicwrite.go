@@ -1,0 +1,100 @@
+// Package atomicwrite enforces the durability layer's one commit protocol:
+// in the store and serve packages, files are created and renamed only
+// through the shared writeAtomic helper (temp file in the target directory,
+// fsync, rename, directory fsync). A raw os.WriteFile or os.Create in
+// those packages can leave a torn file where a crash-consistent reader
+// expects either the old state or the new one — exactly the class of bug
+// the journal and snapshot formats were built to rule out.
+//
+// Flagged in store/serve, outside the writeAtomic function itself:
+//
+//   - os.Create, os.WriteFile, os.CreateTemp, os.Rename
+//   - os.OpenFile whose flags include O_CREATE or O_TRUNC
+//
+// Opening for reading (os.Open, os.OpenFile with O_RDONLY) is untouched.
+// Legitimate in-place open paths (the append-only journal, whose torn
+// tails are handled by CRC framing) carry a justified //ptlint:ignore.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicwrite check, scoped to the packages that own
+// crash-consistent state.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicwrite",
+	Doc:      "requires file creation/rename in store and serve to go through the writeAtomic helper",
+	Packages: []string{"store", "serve"},
+	Run:      run,
+}
+
+// creators are the os functions that produce or replace a file outright.
+var creators = map[string]bool{
+	"Create": true, "WriteFile": true, "CreateTemp": true, "Rename": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// writeAtomic is the blessed implementation; everything it does
+			// is the protocol being enforced.
+			if fd.Name.Name == "writeAtomic" && fd.Recv == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "os" {
+					return true
+				}
+				name := sel.Sel.Name
+				switch {
+				case creators[name]:
+					pass.Reportf(call.Pos(),
+						"os.%s bypasses the writeAtomic commit protocol (temp+fsync+rename); a crash here can expose a torn file", name)
+				case name == "OpenFile" && len(call.Args) >= 2 && opensForWrite(pass, call.Args[1]):
+					pass.Reportf(call.Pos(),
+						"os.OpenFile with O_CREATE/O_TRUNC bypasses the writeAtomic commit protocol (temp+fsync+rename); a crash here can expose a torn file")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// opensForWrite reports whether the OpenFile flags expression includes
+// O_CREATE or O_TRUNC. Flags that cannot be evaluated at compile time are
+// treated as writing (conservative).
+func opensForWrite(pass *analysis.Pass, flags ast.Expr) bool {
+	tv, ok := pass.Info.Types[flags]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	return v&int64(os.O_CREATE|os.O_TRUNC) != 0
+}

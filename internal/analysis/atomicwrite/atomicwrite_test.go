@@ -1,0 +1,16 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicwrite"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/store", atomicwrite.Analyzer)
+}
+
+func TestAtomicWriteSkipsOtherPackages(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/report", atomicwrite.Analyzer)
+}

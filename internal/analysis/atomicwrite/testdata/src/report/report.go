@@ -1,0 +1,11 @@
+// Package report is the negative atomicwrite fixture: a package outside
+// store/serve writes files however it likes — only the durable state's
+// owners are held to the commit protocol.
+package report
+
+import "os"
+
+// Dump writes a throwaway report in place.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,80 @@
+// Package store is an atomicwrite fixture carrying the durable package's
+// name, including its own writeAtomic helper.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeAtomic mirrors the real helper's shape; its raw file operations ARE
+// the commit protocol and are exempt.
+func writeAtomic(path string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		tmp.Close()
+		return err
+	}
+	return tmp.Close()
+}
+
+// SaveGood routes the write through the helper.
+func SaveGood(path string, data []byte) error {
+	return writeAtomic(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// SaveTorn writes in place — a crash mid-write leaves a torn file.
+func SaveTorn(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `atomicwrite: os.WriteFile bypasses`
+}
+
+// SaveCreate creates and fills without the rename commit.
+func SaveCreate(path string, data []byte) error {
+	f, err := os.Create(path) // want `atomicwrite: os.Create bypasses`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SaveTrunc truncates in place via OpenFile.
+func SaveTrunc(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `atomicwrite: os.OpenFile with O_CREATE/O_TRUNC`
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	f.Close()
+	return err
+}
+
+// ReadBack opens read-only: out of scope.
+func ReadBack(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// AppendJournal opens an append-in-place log with its justification, the
+// pattern the real journal uses.
+func AppendJournal(path string) (*os.File, error) {
+	//ptlint:ignore atomicwrite append-only log; torn tails are CRC-framed and truncated on open
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}

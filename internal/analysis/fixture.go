@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture testing in the style of x/tools' analysistest: a testdata
+// directory holds a small package, lines that should be flagged carry a
+//
+//	// want `regexp`
+//
+// comment (several per line allowed), and RunFixture fails the test on any
+// mismatch in either direction. Diagnostics are matched after suppression
+// filtering, so fixtures can also pin the ptlint:ignore mechanism itself.
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// RunFixture loads dir as one package, runs the analyzers, and compares
+// the (suppression-filtered) findings against the fixture's want comments.
+func RunFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := NewLoader(moduleRoot(t))
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, a := range args {
+					expr := a[1]
+					if expr == "" {
+						expr = a[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected finding: %s", pos.Filename, pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod,
+// the directory the loader's `go list` calls must run in.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// FormatDiagnostic renders one finding the way ptucker-vet prints it.
+func FormatDiagnostic(pkg *Package, d Diagnostic) string {
+	pos := pkg.Fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", rel(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+}
+
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

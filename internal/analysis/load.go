@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path  string // import path ("fixture" for fixture directories)
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses packages from source and typechecks them against compiled
+// export data produced by `go list -export`, so analysis sees the same
+// types the compiler does without re-typechecking the transitive closure
+// from source. One Loader shares a FileSet and an export-data cache across
+// every package it loads.
+type Loader struct {
+	// ModuleDir is the module root `go list` runs in.
+	ModuleDir string
+
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a Loader rooted at the module directory.
+func NewLoader(moduleDir string) *Loader {
+	l := &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		exports:   map[string]string{},
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` on the patterns and records
+// every returned package's export data. It returns the packages that
+// matched the patterns themselves (DepOnly false).
+func (l *Loader) goList(patterns ...string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var roots []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %v: %s: %s", patterns, p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	return roots, nil
+}
+
+// lookup feeds the gc importer export data, resolving unseen import paths
+// with an extra `go list` call (fixture packages may import paths outside
+// the already-listed dependency closure).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	e, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		if _, err := l.goList(path); err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		l.mu.Lock()
+		e, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(e)
+}
+
+// Load loads and typechecks the packages matching the `go list` patterns
+// (e.g. "./..."). Test files are not analyzed: the invariants the suite
+// enforces are production-path properties, and test packages routinely use
+// the very constructs the analyzers exist to flag (fixed local RNGs, raw
+// temp-file writes).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(roots))
+	for _, r := range roots {
+		if len(r.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(r.GoFiles))
+		for i, f := range r.GoFiles {
+			files[i] = filepath.Join(r.Dir, f)
+		}
+		p, err := l.check(r.ImportPath, r.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory of Go files as one package outside the
+// module's package graph — the fixture-loading path used by analyzer tests
+// (testdata directories are invisible to `go list`). Imports still resolve
+// against real export data, so fixtures can exercise analyzers against the
+// actual os, sync, math/rand, or repro/internal/... types.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.check("fixture/"+filepath.Base(dir), dir, files)
+}
+
+// check parses and typechecks one package.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Position renders a diagnostic position.
+func (p *Package) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// quoteList renders analyzer names for messages.
+func quoteList(names []string) string {
+	qs := make([]string, len(names))
+	for i, n := range names {
+		qs[i] = strconv.Quote(n)
+	}
+	return joinComma(qs)
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

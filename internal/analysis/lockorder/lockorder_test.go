@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/pool", lockorder.Analyzer)
+}
+
+func TestLockOrderNoDirective(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/nodirective", lockorder.Analyzer)
+}
+
+func TestLockOrderMalformedDirective(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/malformed", lockorder.Analyzer)
+}

@@ -1,0 +1,16 @@
+// Package malformed pins the directive validation: a hierarchy naming a
+// single lock cannot order anything, and the analyzer says so rather than
+// silently enforcing nothing.
+package malformed
+
+import "sync"
+
+//ptlint:lock-order lonelyMu // want `lockorder: malformed`
+
+var lonelyMu sync.Mutex
+
+// Touch keeps the lock used.
+func Touch() {
+	lonelyMu.Lock()
+	lonelyMu.Unlock()
+}

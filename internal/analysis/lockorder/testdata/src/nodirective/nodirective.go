@@ -1,0 +1,23 @@
+// Package nodirective is the negative lockorder fixture: without a
+// documented hierarchy the analyzer has nothing to enforce, even though the
+// locking here would invert one.
+package nodirective
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+// Tangle nests locks both ways; no directive, no findings.
+func Tangle(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+// Package pool is the lockorder fixture: a worker pool whose locks form a
+// documented three-level hierarchy.
+//
+//ptlint:lock-order Pool.mu > worker.mu > statsMu
+package pool
+
+import "sync"
+
+// statsMu guards stats; the innermost lock.
+var statsMu sync.Mutex
+
+var stats int
+
+// Pool owns the outermost lock.
+type Pool struct {
+	mu      sync.RWMutex
+	workers []*worker
+}
+
+type worker struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Drain acquires strictly in the documented order: no findings.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		w.mu.Lock()
+		statsMu.Lock()
+		stats += w.n
+		statsMu.Unlock()
+		w.n = 0
+		w.mu.Unlock()
+	}
+}
+
+// Resize releases the inner lock before taking the outer one: no findings.
+func (w *worker) Resize(p *Pool) {
+	w.mu.Lock()
+	n := w.n
+	w.mu.Unlock()
+	p.mu.Lock()
+	p.workers = p.workers[:n]
+	p.mu.Unlock()
+}
+
+// Steal takes the pool lock under a worker lock: inverted.
+func (w *worker) Steal(p *Pool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p.mu.RLock() // want `lockorder: lock order inverted: acquiring Pool.mu while holding worker.mu`
+	w.n = len(p.workers)
+	p.mu.RUnlock()
+}
+
+// Recount reacquires a lock it already holds.
+func Recount() {
+	statsMu.Lock()
+	statsMu.Lock() // want `lockorder: statsMu is acquired while already held`
+	stats = 0
+	statsMu.Unlock()
+	statsMu.Unlock()
+}
+
+// bump locks statsMu; callee for the call-graph cases.
+func bump() {
+	statsMu.Lock()
+	stats++
+	statsMu.Unlock()
+}
+
+// grow locks the pool lock; callee for the call-graph cases.
+func (p *Pool) grow() {
+	p.mu.Lock()
+	p.workers = append(p.workers, &worker{})
+	p.mu.Unlock()
+}
+
+// Report calls bump while statsMu is held: flagged at the call site.
+func Report() {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	bump() // want `lockorder: calls bump, which acquires statsMu, while statsMu is held`
+}
+
+// Expand reaches the outer lock through one level of calls.
+func (w *worker) Expand(p *Pool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p.grow() // want `lockorder: lock order inverted: calls grow, which acquires Pool.mu, while holding worker.mu`
+}
+
+// Audit calls bump after releasing: no finding.
+func Audit() {
+	statsMu.Lock()
+	stats = 0
+	statsMu.Unlock()
+	bump()
+}
+
+// Requeue documents why its inversion is safe.
+func (w *worker) Requeue(p *Pool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	//ptlint:ignore lockorder p is freshly constructed here and unshared, so the pool lock cannot be contended
+	p.mu.Lock()
+	p.workers = append(p.workers, w)
+	p.mu.Unlock()
+}

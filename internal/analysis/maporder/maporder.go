@@ -1,0 +1,108 @@
+// Package maporder flags range statements over maps in the numeric
+// packages, where Go's randomized iteration order can leak into float
+// accumulation and silently break the "equal seed ⇒ bit-identical model"
+// guarantee the reproduction pins with regression tests.
+//
+// Two shapes are allowed without a marker, because they cannot observe the
+// order:
+//
+//   - for range m { ... }            — counting only, no key or value
+//   - for k := range m { keys = append(keys, k) }
+//     — the sanctioned collect-then-sort idiom (a single append of the key)
+//   - for k := range m { delete(m, k) }
+//     — order-independent map clearing
+//
+// Anything else needs an explicit //ptlint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check. It runs only on the numeric/fit packages:
+// hash-order nondeterminism elsewhere (CLI output, test helpers) cannot
+// reach float results.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flags map iteration in numeric packages where hash order can leak into float results",
+	Packages: []string{"core", "hooi", "mat", "tensor", "ttm"},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if allowed(rs) {
+			return true
+		}
+		pass.Reportf(rs.For,
+			"range over a map in a numeric package: iteration order is randomized and can leak into float results; collect the keys, sort them, and iterate the slice")
+		return true
+	})
+	return nil
+}
+
+// allowed reports whether the map range matches one of the sanctioned
+// order-independent shapes.
+func allowed(rs *ast.RangeStmt) bool {
+	// `for range m` touches neither keys nor values: only the iteration
+	// count is observable, and that is deterministic.
+	if rs.Key == nil && rs.Value == nil {
+		return true
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	switch stmt := rs.Body.List[0].(type) {
+	case *ast.AssignStmt:
+		// keys = append(keys, k): the collector half of collect-then-sort.
+		if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return false
+		}
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		dst, ok := stmt.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		src, ok := call.Args[0].(*ast.Ident)
+		if !ok || src.Name != dst.Name {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		return ok && arg.Name == key.Name
+	case *ast.ExprStmt:
+		// delete(m, k): clearing is order-independent.
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		return ok && arg.Name == key.Name
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/core", maporder.Analyzer)
+}
+
+func TestMapOrderSkipsNonNumericPackages(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/other", maporder.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package core is a maporder fixture: it carries the name of a numeric
+// package, so the analyzer applies.
+package core
+
+import "sort"
+
+// Accumulate sums weights in map order — exactly the nondeterminism the
+// analyzer exists to catch.
+func Accumulate(w map[int]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want `maporder: range over a map`
+		total += v
+	}
+	return total
+}
+
+// AccumulateSorted is the sanctioned shape: collect, sort, iterate.
+func AccumulateSorted(w map[int]float64) float64 {
+	var keys []int
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+// Count only observes the iteration count, which is deterministic.
+func Count(w map[int]float64) int {
+	n := 0
+	for range w {
+		n++
+	}
+	return n
+}
+
+// Clear deletes every key; order cannot matter.
+func Clear(w map[int]float64) {
+	for k := range w {
+		delete(w, k)
+	}
+}
+
+// KeyedWork uses the key beyond collecting it, so order escapes.
+func KeyedWork(w map[int]float64, out []float64) {
+	for k := range w { // want `maporder: range over a map`
+		out[0] += float64(k)
+	}
+}
+
+// Justified shows a suppressed finding: the reason makes it vet-clean.
+func Justified(w map[int]float64) float64 {
+	max := 0.0
+	//ptlint:ignore maporder max is order-independent (no float accumulation)
+	for _, v := range w {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

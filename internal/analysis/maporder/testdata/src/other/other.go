@@ -1,0 +1,12 @@
+// Package other is the negative maporder fixture: not a numeric package,
+// so map iteration is out of scope no matter what it does.
+package other
+
+// Sum iterates a map freely; this package's floats never feed a model.
+func Sum(w map[int]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+// Package metricnames enforces the metric naming contract at every
+// registration point: any metric emitted through metrics.Expo (Counter,
+// Gauge, GaugeInt, CounterVec, GaugeIntVec) must
+//
+//   - have a constant name matching ^ptucker_[a-z0-9_]+$ — dashboards key
+//     on the prefix, and a name built at runtime cannot be audited;
+//   - end in _total exactly when it is a counter (Prometheus convention:
+//     counters count, gauges measure);
+//   - carry a non-empty constant help string;
+//   - use a snake_case label name on the Vec variants.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricnames check. It fires wherever metrics.Expo is
+// used, in any package.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "requires metrics registered through metrics.Expo to use constant ptucker_-prefixed snake_case names, with _total reserved for counters",
+	Run:  run,
+}
+
+const metricsPkg = "repro/internal/metrics"
+
+var (
+	nameRE  = regexp.MustCompile(`^ptucker_[a-z0-9_]+$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// methods maps Expo method name -> whether it emits a counter.
+var methods = map[string]bool{
+	"Counter":     true,
+	"CounterVec":  true,
+	"Gauge":       false,
+	"GaugeInt":    false,
+	"GaugeIntVec": false,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		isCounter, ok := methods[sel.Sel.Name]
+		if !ok || !isExpoMethod(pass, sel) || len(call.Args) < 2 {
+			return true
+		}
+		method := sel.Sel.Name
+
+		name, nameConst := constString(pass, call.Args[0])
+		switch {
+		case !nameConst:
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name passed to Expo.%s is not a compile-time constant; names must be auditable", method)
+		case !nameRE.MatchString(name):
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name %q does not match ^ptucker_[a-z0-9_]+$", name)
+		case isCounter && !strings.HasSuffix(name, "_total"):
+			pass.Reportf(call.Args[0].Pos(),
+				"counter %q must end in _total", name)
+		case !isCounter && strings.HasSuffix(name, "_total"):
+			pass.Reportf(call.Args[0].Pos(),
+				"gauge %q must not end in _total (_total is reserved for counters)", name)
+		}
+
+		if help, helpConst := constString(pass, call.Args[1]); !helpConst || help == "" {
+			pass.Reportf(call.Args[1].Pos(),
+				"metric registered via Expo.%s needs a non-empty constant help string", method)
+		}
+
+		if strings.HasSuffix(method, "Vec") && len(call.Args) >= 3 {
+			if label, labelConst := constString(pass, call.Args[2]); !labelConst || !labelRE.MatchString(label) {
+				pass.Reportf(call.Args[2].Pos(),
+					"label name passed to Expo.%s must be a constant snake_case identifier", method)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isExpoMethod reports whether sel resolves to a method on metrics.Expo.
+func isExpoMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	var fn *types.Func
+	if s := pass.Info.Selections[sel]; s != nil {
+		fn, _ = s.Obj().(*types.Func)
+	} else {
+		fn, _ = pass.Info.Uses[sel.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Name() == "Expo"
+}
+
+// constString evaluates expr as a compile-time string constant.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

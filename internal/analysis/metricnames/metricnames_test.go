@@ -1,0 +1,16 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/handlers", metricnames.Analyzer)
+}
+
+func TestMetricNamesIgnoresUnrelatedTypes(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/faker", metricnames.Analyzer)
+}

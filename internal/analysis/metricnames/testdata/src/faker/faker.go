@@ -1,0 +1,17 @@
+// Package faker is the negative metricnames fixture: a local type that
+// happens to share Expo's method names is not a metrics registration point.
+package faker
+
+import "io"
+
+// Expo is an unrelated local type.
+type Expo struct{ w io.Writer }
+
+// Counter on the local type takes arbitrary names.
+func (e *Expo) Counter(name, help string, value int64) {}
+
+// Record uses names the real analyzer would reject.
+func Record(w io.Writer) {
+	e := &Expo{w: w}
+	e.Counter("whatever-goes", "", 1)
+}

@@ -1,0 +1,44 @@
+// Package handlers is the metricnames fixture: a metrics endpoint that
+// registers well- and badly-named series through metrics.Expo.
+package handlers
+
+import (
+	"io"
+
+	"repro/internal/metrics"
+)
+
+var requestCount int64
+
+func runtimeName() string {
+	if requestCount > 0 {
+		return "ptucker_busy"
+	}
+	return "ptucker_idle"
+}
+
+func emit(sample func(string, int64)) {
+	sample("predict", requestCount)
+}
+
+// WriteMetrics exercises every rule.
+func WriteMetrics(w io.Writer, served int64, rmse float64) {
+	e := metrics.NewExpo(w)
+
+	// Conforming registrations: no findings.
+	e.Counter("ptucker_requests_total", "Requests served.", served)
+	e.Gauge("ptucker_holdout_rmse", "Holdout RMSE.", rmse)
+	e.GaugeInt("ptucker_model_order", "Tensor order.", 3)
+	e.CounterVec("ptucker_hits_total", "Hits per endpoint.", "endpoint", emit)
+
+	e.Counter("ptucker_requests", "Requests served.", served)         // want `metricnames: counter "ptucker_requests" must end in _total`
+	e.GaugeInt("ptucker_depth_total", "Queue depth.", served)         // want `metricnames: gauge "ptucker_depth_total" must not end in _total`
+	e.Counter("requests_total", "Requests served.", served)           // want `metricnames: metric name "requests_total" does not match`
+	e.Gauge("ptucker_Holdout_rmse", "Holdout RMSE.", rmse)            // want `metricnames: metric name "ptucker_Holdout_rmse" does not match`
+	e.Counter(runtimeName(), "Mood.", served)                         // want `metricnames: metric name passed to Expo.Counter is not a compile-time constant`
+	e.Gauge("ptucker_rmse", "", rmse)                                 // want `metricnames: metric registered via Expo.Gauge needs a non-empty constant help string`
+	e.GaugeIntVec("ptucker_depth", "Depth per shard.", "Shard", emit) // want `metricnames: label name passed to Expo.GaugeIntVec must be a constant snake_case identifier`
+
+	//ptlint:ignore metricnames legacy dashboard series kept until the Q3 dashboard migration
+	e.Counter("legacy_requests_total", "Legacy series.", served)
+}

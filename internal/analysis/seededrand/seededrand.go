@@ -1,0 +1,136 @@
+// Package seededrand forbids nondeterministic randomness in the fit and
+// predict packages: the reproduction's contract is that an equal
+// Config.Seed reruns bit-identically, so every random draw must flow
+// through an explicit *rand.Rand constructed from that seed.
+//
+// Two shapes are flagged:
+//
+//   - calls to math/rand (or math/rand/v2) package-level functions — they
+//     draw from the global, process-shared source, which is seeded
+//     randomly and raced by every other caller;
+//   - time.Now() anywhere inside the arguments of a rand constructor
+//     (rand.New, rand.NewSource, ...) — a wall-clock seed makes every run
+//     unique by construction.
+//
+// Constructing sources is fine (rand.New(rand.NewSource(cfg.Seed)) is the
+// sanctioned pattern); it is the global top-level draws and clock seeds
+// that break reruns.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the seededrand check, scoped to the packages whose outputs
+// must be reproducible: the solver core, the init/decomposition kernels,
+// the alternative decompositions, and the discovery pipeline.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand draws and time-derived seeds in fit/predict paths",
+	Packages: []string{
+		"core", "hooi", "mat", "tensor", "ttm",
+		"cp", "shot", "wopt", "csf", "kmeans", "discovery", "serve",
+	},
+	Run: run,
+}
+
+// constructors are the math/rand functions that build sources and
+// generators rather than drawing from the global one.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, isPkgSel := packageQualifier(pass, sel)
+		if !isPkgSel || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+			return true
+		}
+		if constructors[sel.Sel.Name] {
+			return true
+		}
+		// Referencing a type (rand.Rand, rand.Source) is fine; only funcs
+		// and vars draw.
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+			if _, isType := obj.(*types.TypeName); isType {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(),
+			"use of global %s.%s: fit/predict paths must draw from an explicit *rand.Rand threaded from Config.Seed, or equal-seed reruns stop being bit-identical",
+			pkgBase(pkgPath), sel.Sel.Name)
+		return true
+	})
+
+	// Clock-derived seeds: time.Now anywhere inside a rand constructor's
+	// arguments.
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !constructors[sel.Sel.Name] {
+			return true
+		}
+		pkgPath, isPkgSel := packageQualifier(pass, sel)
+		if !isPkgSel || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				// A nested constructor reports its own arguments; without
+				// this, rand.New(rand.NewSource(time.Now().UnixNano()))
+				// would be flagged twice.
+				if inner, ok := m.(*ast.CallExpr); ok && m != n {
+					if is, _ := inner.Fun.(*ast.SelectorExpr); is != nil && constructors[is.Sel.Name] {
+						if p, isPkg := packageQualifier(pass, is); isPkg && (p == "math/rand" || p == "math/rand/v2") {
+							return false
+						}
+					}
+				}
+				inner, ok := m.(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != "Now" {
+					return true
+				}
+				if p, isPkg := packageQualifier(pass, inner); isPkg && p == "time" {
+					pass.Reportf(inner.Pos(),
+						"time.Now()-derived seed: seed %s.%s from Config.Seed so reruns are reproducible",
+						pkgBase(pkgPath), sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return nil
+}
+
+// packageQualifier reports the import path when sel is a package-qualified
+// selector (pkg.Name).
+func packageQualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

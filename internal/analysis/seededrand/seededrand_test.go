@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/core", seededrand.Analyzer)
+}
+
+func TestSeededRandSkipsToolingPackages(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/tooling", seededrand.Analyzer)
+}

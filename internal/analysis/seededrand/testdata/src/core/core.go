@@ -1,0 +1,55 @@
+// Package core is a seededrand fixture carrying a numeric package's name.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config mirrors the real package's seed plumbing.
+type Config struct {
+	Seed int64
+}
+
+// InitGood is the sanctioned pattern: an explicit generator from the seed.
+func InitGood(cfg Config, n int) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// InitGlobal draws from the process-global source.
+func InitGlobal(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.Float64() // want `seededrand: use of global rand.Float64`
+	}
+	return out
+}
+
+// ShuffleGlobal uses another global top-level func.
+func ShuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `seededrand: use of global rand.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// InitClock seeds from the wall clock — unique per run by construction.
+func InitClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seededrand: time.Now\(\)-derived seed`
+}
+
+// TypeUseOK references rand types without drawing.
+func TypeUseOK(rng *rand.Rand, src rand.Source) *rand.Rand {
+	_ = src
+	return rng
+}
+
+// JustifiedGlobal shows a suppression with its reason.
+func JustifiedGlobal() int {
+	//ptlint:ignore seededrand jitter for a log sample rate; never feeds model state
+	return rand.Intn(100)
+}

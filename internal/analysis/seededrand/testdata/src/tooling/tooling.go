@@ -1,0 +1,14 @@
+// Package tooling is the negative seededrand fixture: packages outside the
+// fit/predict paths (generators, load tools) may use whatever randomness
+// they want.
+package tooling
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is fine here: this package's output never feeds a model.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// The suppression mechanism: a finding can be silenced at its site with
+//
+//	//ptlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line (trailing comment) or on the line directly above it.
+// The reason is part of the contract — an ignore without one suppresses
+// nothing and is itself reported, so the codebase cannot accumulate
+// unexplained exceptions. Naming an analyzer that does not exist is also
+// reported: a typo would otherwise silently disarm the marker.
+
+const ignorePrefix = "ptlint:ignore"
+
+// directive is one parsed ptlint:ignore marker.
+type directive struct {
+	line      int
+	analyzers []string
+	reason    string
+}
+
+// suppress applies the package's ignore directives to diags: suppressed
+// findings are dropped, malformed or mistargeted directives are appended as
+// analyzer "ptlint" findings. known is the set of valid analyzer names.
+func suppress(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	// byLine[analyzer][line] reports a well-formed directive covering line.
+	covered := map[string]map[int]bool{}
+	var meta []Diagnostic
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimLeft(text, " \t")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				line := pkg.Fset.Position(c.Pos()).Line
+
+				names, reason := splitDirective(rest)
+				if len(names) == 0 {
+					meta = append(meta, Diagnostic{
+						Analyzer: "ptlint",
+						Pos:      c.Pos(),
+						Message:  "ptlint:ignore names no analyzer (want //ptlint:ignore <analyzer> <reason>)",
+					})
+					continue
+				}
+				if reason == "" {
+					meta = append(meta, Diagnostic{
+						Analyzer: "ptlint",
+						Pos:      c.Pos(),
+						Message: "ptlint:ignore is missing its reason — every suppression must say why the invariant holds anyway (//ptlint:ignore " +
+							strings.Join(names, ",") + " <reason>)",
+					})
+					continue // an unexplained marker suppresses nothing
+				}
+				for _, n := range names {
+					if !known[n] {
+						meta = append(meta, Diagnostic{
+							Analyzer: "ptlint",
+							Pos:      c.Pos(),
+							Message:  "ptlint:ignore names unknown analyzer " + quoteList([]string{n}),
+						})
+						continue
+					}
+					if covered[n] == nil {
+						covered[n] = map[int]bool{}
+					}
+					// A trailing marker covers its own line; a standalone
+					// marker covers the line below it.
+					covered[n][line] = true
+					covered[n][line+1] = true
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		line := pkg.Fset.Position(d.Pos).Line
+		if covered[d.Analyzer][line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, meta...)
+}
+
+// splitDirective parses "<names> <reason...>" after the ptlint:ignore
+// prefix. Names are comma-separated with no interior spaces.
+func splitDirective(rest string) (names []string, reason string) {
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return nil, ""
+	}
+	fields := strings.Fields(rest)
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	return names, reason
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// toy flags every function whose name starts with "Flag" — a minimal
+// diagnostic source for exercising the suppression machinery.
+var toy = &Analyzer{
+	Name: "toy",
+	Doc:  "flags Flag* functions (test analyzer)",
+	Run: func(pass *Pass) error {
+		pass.Inspect(func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flag") {
+				pass.Reportf(fd.Pos(), "function %s is flagged", fd.Name.Name)
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+// TestSuppression pins the ignore contract: a well-formed directive
+// suppresses; one missing its reason is itself a finding and suppresses
+// nothing; unknown or absent analyzer names are findings too.
+func TestSuppression(t *testing.T) {
+	l := NewLoader(moduleRoot(t))
+	pkg, err := l.LoadDir("testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{toy})
+	if err != nil {
+		t.Fatalf("running toy analyzer: %v", err)
+	}
+
+	var toyMsgs, ptlintMsgs []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "toy":
+			toyMsgs = append(toyMsgs, d.Message)
+		case "ptlint":
+			ptlintMsgs = append(ptlintMsgs, d.Message)
+		default:
+			t.Errorf("finding from unexpected analyzer %q: %s", d.Analyzer, d.Message)
+		}
+	}
+
+	// FlagTwo is the only cleanly suppressed function.
+	wantFlagged := []string{"FlagOne", "FlagThree", "FlagFour", "FlagFive"}
+	if len(toyMsgs) != len(wantFlagged) {
+		t.Fatalf("toy findings = %v, want one per %v", toyMsgs, wantFlagged)
+	}
+	for i, fn := range wantFlagged {
+		if !strings.Contains(toyMsgs[i], fn) {
+			t.Errorf("toy finding %d = %q, want mention of %s", i, toyMsgs[i], fn)
+		}
+	}
+	for _, m := range toyMsgs {
+		if strings.Contains(m, "FlagTwo") {
+			t.Errorf("FlagTwo was reported despite a well-formed suppression: %q", m)
+		}
+	}
+
+	// One meta finding per defective directive.
+	wantMeta := []string{"missing its reason", "unknown analyzer", "names no analyzer"}
+	if len(ptlintMsgs) != len(wantMeta) {
+		t.Fatalf("ptlint findings = %v, want one per %v", ptlintMsgs, wantMeta)
+	}
+	for i, frag := range wantMeta {
+		if !strings.Contains(ptlintMsgs[i], frag) {
+			t.Errorf("ptlint finding %d = %q, want mention of %q", i, ptlintMsgs[i], frag)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package suppress pins the ptlint:ignore contract itself, checked by
+// suppress_test.go with a toy analyzer that flags every Flag* function.
+package suppress
+
+// FlagOne has no directive: reported.
+func FlagOne() {}
+
+// FlagTwo is cleanly suppressed.
+//
+//ptlint:ignore toy fixture demonstrates a well-formed suppression
+func FlagTwo() {}
+
+// FlagThree's directive has no reason: the directive is reported and the
+// finding still stands.
+//
+//ptlint:ignore toy
+func FlagThree() {}
+
+// FlagFour's directive names a typo'd analyzer: reported, finding stands.
+//
+//ptlint:ignore tyo a typo must not silently disarm the marker
+func FlagFour() {}
+
+// FlagFive's directive names nothing at all.
+//
+//ptlint:ignore
+func FlagFive() {}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Expo writes the Prometheus text exposition format (version 0.0.4). It is
+// the single registration point for every metric the project exports: each
+// Counter/Gauge call emits the metric's HELP/TYPE header and its samples in
+// one place, which is what lets the metricnames analyzer (internal/analysis/
+// metricnames, run by ptucker-vet) statically enforce the naming contract —
+// names match ^ptucker_[a-z0-9_]+(_total)?$, counters end in _total, gauges
+// do not, and labels are snake_case.
+//
+// Sample values keep their native width: counters are int64 (an int64
+// counter formatted through float64 would corrupt above 2^53), gauges pick
+// GaugeInt or Gauge (float, shortest round-trip formatting) per metric.
+type Expo struct {
+	w io.Writer
+}
+
+// NewExpo returns an exposition writer over w.
+func NewExpo(w io.Writer) *Expo { return &Expo{w: w} }
+
+func (e *Expo) header(name, help, kind string) {
+	fmt.Fprintf(e.w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(e.w, "# TYPE %s %s\n", name, kind)
+}
+
+// Counter emits one unlabeled counter.
+func (e *Expo) Counter(name, help string, value int64) {
+	e.header(name, help, "counter")
+	fmt.Fprintf(e.w, "%s %d\n", name, value)
+}
+
+// Gauge emits one unlabeled float gauge.
+func (e *Expo) Gauge(name, help string, value float64) {
+	e.header(name, help, "gauge")
+	fmt.Fprintf(e.w, "%s %g\n", name, value)
+}
+
+// GaugeInt emits one unlabeled integer gauge.
+func (e *Expo) GaugeInt(name, help string, value int64) {
+	e.header(name, help, "gauge")
+	fmt.Fprintf(e.w, "%s %d\n", name, value)
+}
+
+// CounterVec emits one counter family with a single label dimension: emit
+// is called with a sample function the caller invokes once per label value,
+// in the order samples should appear (sort label values for a stable
+// scrape).
+func (e *Expo) CounterVec(name, help, label string, emit func(sample func(labelValue string, value int64))) {
+	e.header(name, help, "counter")
+	emit(func(labelValue string, value int64) {
+		fmt.Fprintf(e.w, "%s{%s=%q} %d\n", name, label, labelValue, value)
+	})
+}
+
+// GaugeIntVec emits one integer gauge family with a single label dimension.
+func (e *Expo) GaugeIntVec(name, help, label string, emit func(sample func(labelValue string, value int64))) {
+	e.header(name, help, "gauge")
+	emit(func(labelValue string, value int64) {
+		fmt.Fprintf(e.w, "%s{%s=%q} %d\n", name, label, labelValue, value)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -99,6 +100,12 @@ func (s *Server) initDurable() error {
 		s.install(f.Snapshot())
 	}
 	s.met.journalReplayed.Store(int64(records))
+	// Surviving records restart their age clock here: the journal does not
+	// persist append times, so "older than CompactAge" is measured from this
+	// boot for anything that was already on disk.
+	if j.Len() > 0 {
+		s.oldestUncovered.Store(s.now().UnixNano())
+	}
 	// A process restarted with an already-oversized journal (say it crashed
 	// repeatedly before ever compacting) compacts right away instead of
 	// waiting for the next observe. New is still single-threaded here.
@@ -117,6 +124,8 @@ func (s *Server) journalAppend(obs []core.Observation) error {
 		return fmt.Errorf("%w: journal: %v", errObserveInternal, err)
 	}
 	s.met.journalAppends.Add(1)
+	// First uncovered record since the last compaction: start its age clock.
+	s.oldestUncovered.CompareAndSwap(0, s.now().UnixNano())
 	return nil
 }
 
@@ -157,6 +166,14 @@ func (s *Server) compact(m *core.Model, x *tensor.Coord, covered uint64, gen int
 	}
 	s.durLastCovered = covered
 	s.met.compactions.Add(1)
+	// Reset the age clock: clear first, then re-arm if records appended while
+	// the writes ran are already waiting. An append racing this sequence
+	// either arms the cleared clock itself (its CAS from 0 wins) or is seen
+	// by the Len check — the clock can land a moment late, never stay stale.
+	s.oldestUncovered.Store(0)
+	if s.journal.Len() > 0 {
+		s.oldestUncovered.CompareAndSwap(0, s.now().UnixNano())
+	}
 }
 
 // maybeCompactBySize starts a background journal compaction — without a
@@ -198,6 +215,56 @@ func (s *Server) maybeCompactBySize(f *core.Fitter) {
 	}()
 }
 
+// ageCompactLoop drives CompactAge: a ticker at a fraction of the bound
+// checks the oldest-uncovered clock until the server closes. Started by New
+// only when a DataDir and a CompactAge are both configured.
+func (s *Server) ageCompactLoop() {
+	interval := s.opts.CompactAge / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.life.Done():
+			return
+		case <-t.C:
+			s.compactByAge()
+		}
+	}
+}
+
+// compactByAge starts a background compaction once the oldest uncovered
+// journal record has waited longer than Options.CompactAge. The capture —
+// model snapshot, training-set copy, covered sequence — happens under
+// online.mu exactly like maybeCompactBySize's, and the same deferrals
+// apply: never while a refit is in flight (its own compaction is moments
+// away), one pass at a time (compactBusy), writes off the lock.
+func (s *Server) compactByAge() {
+	armed := s.oldestUncovered.Load()
+	if armed == 0 || s.now().Sub(time.Unix(0, armed)) < s.opts.CompactAge {
+		return
+	}
+	o := &s.online
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.refitting || o.fitter == nil || s.journal.Len() == 0 {
+		return
+	}
+	if !s.compactBusy.CompareAndSwap(false, true) {
+		return
+	}
+	m := o.fitter.Snapshot()
+	x := o.fitter.TrainingSet()
+	covered := s.journal.LastSeq()
+	gen := o.gen
+	go func() {
+		defer s.compactBusy.Store(false)
+		s.compact(m, x, covered, gen)
+	}()
+}
+
 // rebaseDurable resets the durable state around a committed reload: the
 // journaled observations are superseded (a reload drops the online state,
 // so a restart must not replay them), the training sidecar no longer
@@ -226,6 +293,9 @@ func (s *Server) rebaseDurable(m *core.Model, gen int64) {
 	// a stale compaction capture cannot re-cover rotated records.
 	s.durLastCovered = s.journal.LastSeq()
 	err := s.journal.Reset()
+	// The reset discarded every journaled record; nothing uncovered remains
+	// to age (the caller holds online.mu, so no observe can append yet).
+	s.oldestUncovered.Store(0)
 	if err == nil {
 		err = s.dir.RemoveTrainingTensor()
 	}

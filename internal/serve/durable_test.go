@@ -652,6 +652,82 @@ func TestSizeTriggeredCompaction(t *testing.T) {
 	}
 }
 
+// TestAgeTriggeredCompaction: with refits and size triggers disabled, a
+// journal whose oldest uncovered record outlives CompactAge is compacted in
+// the background, and a restart over the directory replays nothing yet
+// serves bit-identical predictions.
+func TestAgeTriggeredCompaction(t *testing.T) {
+	m := fitModel(t, 9)
+	dir := t.TempDir()
+	s, err := New(Options{Model: m, DataDir: dir, CompactAge: 20 * time.Millisecond,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := observeStream(49, 4)
+	for _, b := range stream {
+		postObserve(t, s, b)
+	}
+	if got := s.met.compactions.Load(); got != 0 && s.journal.Len() == 0 {
+		// Not an error — just means the ticker beat the last observe — but the
+		// interesting path is records sitting in the journal until they age out.
+		t.Logf("compaction already ran mid-stream (%d)", got)
+	}
+	waitFor(t, "age-triggered compaction", func() bool { return s.met.compactions.Load() > 0 })
+	if got := s.met.refits.Load(); got != 0 {
+		t.Fatalf("%d refits ran; age-triggered compaction must not refit", got)
+	}
+	// Every record eventually ages out and rotates away; the clock disarms.
+	waitFor(t, "journal fully covered", func() bool {
+		return s.journal.Len() == 0 && s.oldestUncovered.Load() == 0
+	})
+	waitFor(t, "compaction settled", func() bool { return !s.compactBusy.Load() })
+
+	preClose := predictionGrid(t, s)
+	s.online.mu.Lock()
+	preNNZ := s.online.fitter.NNZ()
+	s.online.mu.Unlock()
+	s.Close()
+
+	// Restart without CompactAge: the persisted model + training snapshot come
+	// back as-is and the emptied journal replays nothing.
+	s2, err := New(Options{Model: m, DataDir: dir,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.met.journalReplayed.Load(); got != 0 {
+		t.Fatalf("replayed %d records after an age compaction covered everything, want 0", got)
+	}
+	sameBits(t, preClose, predictionGrid(t, s2), "restart after age-triggered compaction")
+	s2.online.mu.Lock()
+	gotNNZ := s2.online.fitter.NNZ()
+	s2.online.mu.Unlock()
+	if gotNNZ != preNNZ {
+		t.Fatalf("training set diverged across compaction restart: %d vs %d entries", gotNNZ, preNNZ)
+	}
+}
+
+// TestCompactAgeDisabledKeepsJournal: without CompactAge nothing ever ages
+// out — the journal keeps every record no matter how long it sits.
+func TestCompactAgeDisabledKeepsJournal(t *testing.T) {
+	m := fitModel(t, 9)
+	s, _ := testServer(t, Options{Model: m, DataDir: t.TempDir(),
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	for _, b := range observeStream(50, 3) {
+		postObserve(t, s, b)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := s.met.compactions.Load(); got != 0 {
+		t.Fatalf("%d compactions ran with CompactAge=0", got)
+	}
+	if got := s.journal.Len(); got != 3 {
+		t.Fatalf("journal has %d records, want 3 (nothing rotated)", got)
+	}
+}
+
 // TestCompactBytesDisabledKeepsJournal: without CompactBytes the journal of a
 // refit-less server only grows — the regression this feature closes — and
 // with it the journal stays bounded by rotation.

@@ -1,12 +1,14 @@
 package serve
 
 import (
-	"fmt"
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	expo "repro/internal/metrics"
 )
 
 // endpoints is the fixed label set of the per-endpoint counters.
@@ -88,98 +90,60 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int) http.Handl
 		}
 		m.init()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		e := expo.NewExpo(w)
 
 		labels := append([]string(nil), endpoints...)
 		sort.Strings(labels)
-		fmt.Fprintln(w, "# HELP ptucker_requests_total Requests received, by endpoint.")
-		fmt.Fprintln(w, "# TYPE ptucker_requests_total counter")
-		for _, e := range labels {
-			fmt.Fprintf(w, "ptucker_requests_total{endpoint=%q} %d\n", e, m.req[e].Load())
+		byEndpoint := func(counters map[string]*atomic.Int64) func(func(string, int64)) {
+			return func(sample func(string, int64)) {
+				for _, l := range labels {
+					sample(l, counters[l].Load())
+				}
+			}
 		}
-		fmt.Fprintln(w, "# HELP ptucker_errors_total Requests answered with an error, by endpoint.")
-		fmt.Fprintln(w, "# TYPE ptucker_errors_total counter")
-		for _, e := range labels {
-			fmt.Fprintf(w, "ptucker_errors_total{endpoint=%q} %d\n", e, m.errs[e].Load())
-		}
-		fmt.Fprintln(w, "# HELP ptucker_predictions_total Tensor cells scored across all paths.")
-		fmt.Fprintln(w, "# TYPE ptucker_predictions_total counter")
-		fmt.Fprintf(w, "ptucker_predictions_total %d\n", m.predictions.Load())
-		fmt.Fprintln(w, "# HELP ptucker_coalesced_batches_total Coalescer flushes executed.")
-		fmt.Fprintln(w, "# TYPE ptucker_coalesced_batches_total counter")
-		fmt.Fprintf(w, "ptucker_coalesced_batches_total %d\n", m.flushes.Load())
-		fmt.Fprintln(w, "# HELP ptucker_coalesced_predictions_total Single predictions served through the coalescer.")
-		fmt.Fprintln(w, "# TYPE ptucker_coalesced_predictions_total counter")
-		fmt.Fprintf(w, "ptucker_coalesced_predictions_total %d\n", m.coalesced.Load())
+		e.CounterVec("ptucker_requests_total", "Requests received, by endpoint.", "endpoint", byEndpoint(m.req))
+		e.CounterVec("ptucker_errors_total", "Requests answered with an error, by endpoint.", "endpoint", byEndpoint(m.errs))
+		e.Counter("ptucker_predictions_total", "Tensor cells scored across all paths.", m.predictions.Load())
+		e.Counter("ptucker_coalesced_batches_total", "Coalescer flushes executed.", m.flushes.Load())
+		e.Counter("ptucker_coalesced_predictions_total", "Single predictions served through the coalescer.", m.coalesced.Load())
 		if len(m.shardFlushes) > 0 {
-			fmt.Fprintln(w, "# HELP ptucker_shard_flushes_total Coalescer flushes executed, by dispatcher shard.")
-			fmt.Fprintln(w, "# TYPE ptucker_shard_flushes_total counter")
-			for i := range m.shardFlushes {
-				fmt.Fprintf(w, "ptucker_shard_flushes_total{shard=\"%d\"} %d\n", i, m.shardFlushes[i].Load())
+			byShard := func(counters []atomic.Int64) func(func(string, int64)) {
+				return func(sample func(string, int64)) {
+					for i := range counters {
+						sample(strconv.Itoa(i), counters[i].Load())
+					}
+				}
 			}
-			fmt.Fprintln(w, "# HELP ptucker_shard_coalesced_total Single predictions coalesced, by dispatcher shard.")
-			fmt.Fprintln(w, "# TYPE ptucker_shard_coalesced_total counter")
-			for i := range m.shardCoalesced {
-				fmt.Fprintf(w, "ptucker_shard_coalesced_total{shard=\"%d\"} %d\n", i, m.shardCoalesced[i].Load())
-			}
+			e.CounterVec("ptucker_shard_flushes_total", "Coalescer flushes executed, by dispatcher shard.", "shard", byShard(m.shardFlushes))
+			e.CounterVec("ptucker_shard_coalesced_total", "Single predictions coalesced, by dispatcher shard.", "shard", byShard(m.shardCoalesced))
 		}
 		if depths != nil {
-			fmt.Fprintln(w, "# HELP ptucker_shard_queue_depth Queued predictions awaiting a flush, by dispatcher shard (sampled).")
-			fmt.Fprintln(w, "# TYPE ptucker_shard_queue_depth gauge")
-			for i, d := range depths() {
-				fmt.Fprintf(w, "ptucker_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
-			}
+			e.GaugeIntVec("ptucker_shard_queue_depth", "Queued predictions awaiting a flush, by dispatcher shard (sampled).", "shard",
+				func(sample func(string, int64)) {
+					for i, d := range depths() {
+						sample(strconv.Itoa(i), int64(d))
+					}
+				})
 		}
-		fmt.Fprintln(w, "# HELP ptucker_reloads_total Successful model reloads.")
-		fmt.Fprintln(w, "# TYPE ptucker_reloads_total counter")
-		fmt.Fprintf(w, "ptucker_reloads_total %d\n", m.reloads.Load())
-		fmt.Fprintln(w, "# HELP ptucker_observations_total Observations accepted via /v1/observe.")
-		fmt.Fprintln(w, "# TYPE ptucker_observations_total counter")
-		fmt.Fprintf(w, "ptucker_observations_total %d\n", m.observations.Load())
-		fmt.Fprintln(w, "# HELP ptucker_foldins_total New rows folded into the served model.")
-		fmt.Fprintln(w, "# TYPE ptucker_foldins_total counter")
-		fmt.Fprintf(w, "ptucker_foldins_total %d\n", m.foldIns.Load())
-		fmt.Fprintln(w, "# HELP ptucker_refits_total Background warm refits published.")
-		fmt.Fprintln(w, "# TYPE ptucker_refits_total counter")
-		fmt.Fprintf(w, "ptucker_refits_total %d\n", m.refits.Load())
-		fmt.Fprintln(w, "# HELP ptucker_refit_errors_total Background warm refits that failed.")
-		fmt.Fprintln(w, "# TYPE ptucker_refit_errors_total counter")
-		fmt.Fprintf(w, "ptucker_refit_errors_total %d\n", m.refitErrors.Load())
-		fmt.Fprintln(w, "# HELP ptucker_request_timeouts_total Requests cut off by the per-request timeout.")
-		fmt.Fprintln(w, "# TYPE ptucker_request_timeouts_total counter")
-		fmt.Fprintf(w, "ptucker_request_timeouts_total %d\n", m.timeouts.Load())
-		fmt.Fprintln(w, "# HELP ptucker_staged_observations_total Observations buffered in the staging queue while a refit ran.")
-		fmt.Fprintln(w, "# TYPE ptucker_staged_observations_total counter")
-		fmt.Fprintf(w, "ptucker_staged_observations_total %d\n", m.stagedObservations.Load())
-		fmt.Fprintln(w, "# HELP ptucker_journal_appends_total Observation batches journaled to the data directory.")
-		fmt.Fprintln(w, "# TYPE ptucker_journal_appends_total counter")
-		fmt.Fprintf(w, "ptucker_journal_appends_total %d\n", m.journalAppends.Load())
-		fmt.Fprintln(w, "# HELP ptucker_journal_replayed_records Journal records replayed at the last startup.")
-		fmt.Fprintln(w, "# TYPE ptucker_journal_replayed_records gauge")
-		fmt.Fprintf(w, "ptucker_journal_replayed_records %d\n", m.journalReplayed.Load())
-		fmt.Fprintln(w, "# HELP ptucker_journal_compactions_total Journal compactions into model + training snapshots.")
-		fmt.Fprintln(w, "# TYPE ptucker_journal_compactions_total counter")
-		fmt.Fprintf(w, "ptucker_journal_compactions_total %d\n", m.compactions.Load())
-		fmt.Fprintln(w, "# HELP ptucker_journal_compaction_errors_total Compactions that failed (journal kept for replay).")
-		fmt.Fprintln(w, "# TYPE ptucker_journal_compaction_errors_total counter")
-		fmt.Fprintf(w, "ptucker_journal_compaction_errors_total %d\n", m.compactionErrors.Load())
-		fmt.Fprintln(w, "# HELP ptucker_rebase_errors_total Reload re-bases that failed to persist (data dir may restart pre-reload).")
-		fmt.Fprintln(w, "# TYPE ptucker_rebase_errors_total counter")
-		fmt.Fprintf(w, "ptucker_rebase_errors_total %d\n", m.rebaseErrors.Load())
-		fmt.Fprintln(w, "# HELP ptucker_auth_failures_total Mutating requests rejected for a missing or invalid bearer token.")
-		fmt.Fprintln(w, "# TYPE ptucker_auth_failures_total counter")
-		fmt.Fprintf(w, "ptucker_auth_failures_total %d\n", m.authFailures.Load())
+		e.Counter("ptucker_reloads_total", "Successful model reloads.", m.reloads.Load())
+		e.Counter("ptucker_observations_total", "Observations accepted via /v1/observe.", m.observations.Load())
+		e.Counter("ptucker_foldins_total", "New rows folded into the served model.", m.foldIns.Load())
+		e.Counter("ptucker_refits_total", "Background warm refits published.", m.refits.Load())
+		e.Counter("ptucker_refit_errors_total", "Background warm refits that failed.", m.refitErrors.Load())
+		e.Counter("ptucker_request_timeouts_total", "Requests cut off by the per-request timeout.", m.timeouts.Load())
+		e.Counter("ptucker_staged_observations_total", "Observations buffered in the staging queue while a refit ran.", m.stagedObservations.Load())
+		e.Counter("ptucker_journal_appends_total", "Observation batches journaled to the data directory.", m.journalAppends.Load())
+		e.GaugeInt("ptucker_journal_replayed_records", "Journal records replayed at the last startup.", m.journalReplayed.Load())
+		e.Counter("ptucker_journal_compactions_total", "Journal compactions into model + training snapshots.", m.compactions.Load())
+		e.Counter("ptucker_journal_compaction_errors_total", "Compactions that failed (journal kept for replay).", m.compactionErrors.Load())
+		e.Counter("ptucker_rebase_errors_total", "Reload re-bases that failed to persist (data dir may restart pre-reload).", m.rebaseErrors.Load())
+		e.Counter("ptucker_auth_failures_total", "Mutating requests rejected for a missing or invalid bearer token.", m.authFailures.Load())
 		if m.holdoutSet.Load() {
-			fmt.Fprintln(w, "# HELP ptucker_holdout_rmse RMSE of the served model over the held-out set, re-scored after refits and reloads.")
-			fmt.Fprintln(w, "# TYPE ptucker_holdout_rmse gauge")
-			fmt.Fprintf(w, "ptucker_holdout_rmse %g\n", math.Float64frombits(m.holdoutRMSE.Load()))
+			e.Gauge("ptucker_holdout_rmse", "RMSE of the served model over the held-out set, re-scored after refits and reloads.", math.Float64frombits(m.holdoutRMSE.Load()))
 		}
 
 		s := snap()
-		fmt.Fprintln(w, "# HELP ptucker_model_loaded_timestamp_seconds Unix time the serving snapshot was installed.")
-		fmt.Fprintln(w, "# TYPE ptucker_model_loaded_timestamp_seconds gauge")
-		fmt.Fprintf(w, "ptucker_model_loaded_timestamp_seconds %d\n", s.loadedAt.Unix())
-		fmt.Fprintln(w, "# HELP ptucker_model_order Tensor order of the served model.")
-		fmt.Fprintln(w, "# TYPE ptucker_model_order gauge")
-		fmt.Fprintf(w, "ptucker_model_order %d\n", s.order)
+		e.GaugeInt("ptucker_model_loaded_timestamp_seconds", "Unix time the serving snapshot was installed.", s.loadedAt.Unix())
+		e.GaugeInt("ptucker_model_order", "Tensor order of the served model.", int64(s.order))
 	}
 }

@@ -138,6 +138,15 @@ type Options struct {
 	// server running with refits disabled (RefitAfter 0). 0 disables
 	// size-triggered compaction; ignored without a DataDir.
 	CompactBytes int64
+	// CompactAge bounds how long an uncovered journal record may wait for a
+	// compaction, wall-clock: a background ticker compacts (same capture as
+	// CompactBytes, no refit) once the oldest record not yet covered by a
+	// snapshot is older than this. It bounds restart replay time for a
+	// low-traffic server whose journal never crosses CompactBytes. Append
+	// times are not persisted in the journal, so after a restart the
+	// surviving records' age is measured from the restart. 0 disables
+	// age-triggered compaction; ignored without a DataDir.
+	CompactAge time.Duration
 	// JournalSync selects the journal fsync policy (store.SyncAlways,
 	// SyncBatch with an interval, SyncNone). The zero value is SyncBatch at
 	// store.DefaultSyncInterval.
@@ -166,6 +175,13 @@ var ErrServerClosed = errors.New("serve: server closed")
 
 // Server is the HTTP serving layer over one hot-swappable model snapshot.
 // All methods are safe for concurrent use.
+//
+// The package's mutexes form a single documented hierarchy, declared by the
+// directive below (outermost first) and enforced statically by ptucker-vet's
+// lockorder analyzer: a goroutine may only acquire locks left-to-right, and
+// must not take one while holding anything to its right.
+//
+//ptlint:lock-order Server.reloadMu > online.mu > online.stageMu > Server.durMu
 type Server struct {
 	opts Options
 
@@ -204,15 +220,21 @@ type Server struct {
 	// before a reload cannot overwrite the re-based directory, and
 	// durLastCovered is the highest journal sequence a committed write
 	// covered, so a compaction captured earlier (size-triggered racing a
-	// refit's) cannot roll the training snapshot back. Lock order: online.mu
-	// may be held when taking durMu, never the reverse.
+	// refit's) cannot roll the training snapshot back. durMu is the innermost
+	// lock of the hierarchy documented on Server.
 	durMu          sync.Mutex
 	durLastGen     int64
 	durLastCovered uint64
 
-	// compactBusy admits one size-triggered compaction at a time; see
-	// maybeCompactBySize.
+	// compactBusy admits one size- or age-triggered compaction at a time;
+	// see maybeCompactBySize and compactByAge.
 	compactBusy atomic.Bool
+
+	// oldestUncovered is the UnixNano wall-clock time the oldest journal
+	// record not yet covered by a compaction was appended (0 = journal fully
+	// covered). Appends arm it (CAS from 0), compactions and re-bases clear
+	// or re-arm it, and the CompactAge ticker compares it against the bound.
+	oldestUncovered atomic.Int64
 
 	// life is the server's lifetime context; Close cancels it, stopping a
 	// background refit within one ALS iteration.
@@ -309,6 +331,12 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxBatch > 1 {
 		s.coal = newCoalescer(opts.MaxBatch, opts.Shards, s.snapshot, &s.met)
 		s.coal.start()
+	}
+	// Age-bounded compaction: a ticker (stopped by Close via s.life) keeps
+	// restart replay time bounded even when traffic never crosses
+	// CompactBytes.
+	if s.dir != nil && opts.CompactAge > 0 {
+		go s.ageCompactLoop()
 	}
 	return s, nil
 }

@@ -153,6 +153,7 @@ func OpenJournal(path string, order int, policy SyncPolicy) (*Journal, error) {
 	if policy.Interval <= 0 {
 		policy.Interval = DefaultSyncInterval
 	}
+	//ptlint:ignore atomicwrite the journal is an append-only log opened in place by design: torn tails are CRC-framed and truncated right here in recover(), and rotation goes through writeAtomic
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)

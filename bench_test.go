@@ -159,9 +159,9 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
-// servingFixture fits one model and prepares a batch of random multi-indices
+// servingModel fits one model and prepares a batch of random multi-indices
 // for the serving-path benchmarks.
-func servingFixture(b *testing.B, batch int) (*Predictor, [][]int) {
+func servingModel(b *testing.B, batch int) (*Model, [][]int) {
 	b.Helper()
 	mcfg := synth.DefaultMovieLensConfig()
 	mcfg.NNZ = 4000
@@ -183,6 +183,28 @@ func servingFixture(b *testing.B, batch int) (*Predictor, [][]int) {
 		}
 		idxs[i] = idx
 	}
+	return m, idxs
+}
+
+func servingFixture(b *testing.B, batch int) (*Predictor, [][]int) {
+	b.Helper()
+	m, idxs := servingModel(b, batch)
+	return NewPredictor(m), idxs
+}
+
+// sparseServingFixture is servingFixture after VeST-style pruning: half the
+// core entries are removed by position and the mode-sorted layout rebuilt, so
+// the serving benchmarks exercise the grouped sparse kernels at |G|/2. The
+// ns/op ratio against the dense fixtures is the payoff of sparsification.
+func sparseServingFixture(b *testing.B, batch int) (*Predictor, [][]int) {
+	b.Helper()
+	m, idxs := servingModel(b, batch)
+	drop := make([]bool, m.Core.NNZ())
+	for i := range drop {
+		drop[i] = i%2 == 1
+	}
+	m.Core.RemoveEntries(drop)
+	m.Core.FinalizeLayout()
 	return NewPredictor(m), idxs
 }
 
@@ -194,6 +216,46 @@ func BenchmarkPredictorPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Predict(idxs[0])
+	}
+}
+
+// BenchmarkPredictSparse is BenchmarkPredictorPredict on the half-pruned
+// core: single-cell cost is linear in live |G|, so ns/op should land near
+// half the dense figure.
+func BenchmarkPredictSparse(b *testing.B) {
+	p, idxs := sparseServingFixture(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Predict(idxs[0])
+	}
+}
+
+// BenchmarkRecommend measures a top-10 query over the items mode through the
+// Recommender's mode-grouped contraction.
+func BenchmarkRecommend(b *testing.B) {
+	p, idxs := servingFixture(b, 1)
+	r := p.Recommender()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TopK(idxs[0], 1, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendSparse is BenchmarkRecommend on the half-pruned core:
+// the contraction visits only live entries, so ranking cost drops with |G|.
+func BenchmarkRecommendSparse(b *testing.B) {
+	p, idxs := sparseServingFixture(b, 1)
+	r := p.Recommender()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TopK(idxs[0], 1, 10); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

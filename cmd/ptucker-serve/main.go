@@ -68,6 +68,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max single predictions coalesced into one batch (1 disables)")
 		shards      = flag.Int("shards", 0, "coalescer dispatcher shards, each with its own queue and flush loop (0 = auto from GOMAXPROCS)")
 		refitAfter  = flag.Int("refit-after", 0, "background warm refit after this many /v1/observe observations (0 disables)")
+		sparsify    = flag.Float64("sparsify", 0, "prune refit results' core entries within this relative error budget (0 keeps the model's own setting; checked on -holdout when set)")
 		maxBody     = flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes on /v1/* (larger bodies get 413; <0 disables)")
 		timeout     = flag.Duration("timeout", serve.DefaultTimeout, "per-request handling bound on /v1/* (exceeded requests get 503; <0 disables)")
 		watch       = flag.Duration("watch", 0, "poll the -model file at this interval and hot-reload on change (0 disables)")
@@ -105,6 +106,7 @@ func main() {
 		MaxBatch:     *maxBatch,
 		Shards:       *shards,
 		RefitAfter:   *refitAfter,
+		Sparsify:     *sparsify,
 		MaxBodyBytes: *maxBody,
 		Timeout:      *timeout,
 		DataDir:      *dataDir,

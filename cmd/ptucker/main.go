@@ -59,6 +59,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		out        = flag.String("out", "", "output directory for text factors and core (optional)")
 		split      = flag.Float64("split", 0, "hold out this fraction of entries as a test set (e.g. 0.1)")
+		sparsify   = flag.Float64("sparsify", 0, "prune low-responsibility core entries post-fit within this relative error budget (e.g. 0.05; with -split the budget is checked on the held-out set)")
 		save       = flag.String("save", "", "write the fitted model to this binary file")
 		saveTensor = flag.String("save-tensor", "", "write the training tensor to this file as a binary snapshot (fast reload; serving sidecar)")
 		load       = flag.String("load", "", "load a saved model instead of fitting (skips decomposition)")
@@ -129,6 +130,10 @@ func main() {
 	cfg.TruncationRate = *p
 	cfg.Threads = *threads
 	cfg.Seed = *seed
+	cfg.Sparsify = *sparsify
+	if *sparsify > 0 && test != nil {
+		cfg.SparsifyHoldout = test
+	}
 	switch *method {
 	case "ptucker":
 		cfg.Method = core.PTucker

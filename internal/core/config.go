@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+
+	"repro/internal/tensor"
 )
 
 // Method selects which member of the P-Tucker family runs.
@@ -110,6 +112,23 @@ type Config struct {
 	// decompositions, while sacrificing little accuracy"); zero disables it.
 	// Error measurement always uses all observed entries.
 	SampleRate float64
+	// Sparsify, when positive, prunes low-responsibility core entries after
+	// the QR finalization (VeST-style; see PAPERS.md): live entries are
+	// ranked by partial reconstruction error R(β) (Eq. 13, most-hurtful
+	// first) and the largest prune count whose reconstruction error stays
+	// within (1+Sparsify)× the pre-prune error is removed. The budget is
+	// checked against SparsifyHoldout when set, otherwise against the
+	// training set. The value is the relative RMSE-degradation budget — 0.05
+	// allows a 5% error increase. Zero disables pruning. Fitter.Refit runs
+	// the same pruning, so background refits of a sparsified model re-prune.
+	Sparsify float64
+	// SparsifyHoldout optionally supplies the held-out set the Sparsify
+	// budget is checked against, so pruning is gated on generalization
+	// rather than training fit. Like OnIteration it is fit-time input, not
+	// model data: it is never serialized, and a snapshot/loaded model's
+	// config carries nil. Its order must match the training tensor's and no
+	// mode may exceed the training tensor's dimensionality.
+	SparsifyHoldout *tensor.Coord
 	// OnIteration, when non-nil, is called after every ALS iteration with
 	// that iteration's statistics — the observability hook for streaming
 	// progress, custom stopping rules, and checkpoint triggers. Returning
@@ -157,6 +176,7 @@ var (
 	ErrEmptyTensor    = errors.New("core: tensor has no observed entries")
 	ErrRankExceedsDim = errors.New("core: rank exceeds the matching tensor dimensionality")
 	ErrBadSampleRate  = errors.New("core: sample rate must lie in [0,1)")
+	ErrBadSparsify    = errors.New("core: invalid sparsify option")
 )
 
 // Validate checks the configuration against a tensor of the given shape and
@@ -190,6 +210,20 @@ func (c Config) Validate(dims []int) (Config, error) {
 	}
 	if c.SampleRate < 0 || c.SampleRate >= 1 {
 		return c, fmt.Errorf("%w: %v", ErrBadSampleRate, c.SampleRate)
+	}
+	if c.Sparsify < 0 {
+		return c, fmt.Errorf("%w: budget %v must be non-negative", ErrBadSparsify, c.Sparsify)
+	}
+	if h := c.SparsifyHoldout; h != nil {
+		if h.Order() != len(dims) {
+			return c, fmt.Errorf("%w: holdout has order %d, tensor has %d", ErrBadSparsify, h.Order(), len(dims))
+		}
+		for k := range dims {
+			if h.Dim(k) > dims[k] {
+				return c, fmt.Errorf("%w: holdout mode %d has dimension %d but the tensor covers only %d",
+					ErrBadSparsify, k, h.Dim(k), dims[k])
+			}
+		}
 	}
 	c.Ranks = append([]int(nil), c.Ranks...)
 	if c.Threads <= 0 {

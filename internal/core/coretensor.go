@@ -1,11 +1,22 @@
 package core
 
 import (
+	"container/heap"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/mat"
 	"repro/internal/tensor"
 )
+
+// RotationDropTol is the relative magnitude below which a core entry produced
+// by the sparse finalize rotation (RotateAllSparse) is treated as numerical
+// noise and dropped: entries with |Gβ| ≤ RotationDropTol · max|Gγ| do not
+// survive the rotation. The threshold sits a little above float64 machine
+// epsilon, so it removes exact zeros and cancellation residue without ever
+// touching an entry that carries signal.
+const RotationDropTol = 1e-14
 
 // CoreTensor is the Tucker core G represented as an explicit list of live
 // entries (β, Gβ). A dense array would suffice for P-Tucker and
@@ -14,10 +25,24 @@ import (
 // that loop a flat scan and makes |G| shrink for free after truncation.
 //
 // Entry e has multi-index Idx[e*N : (e+1)*N] and value Val[e].
+//
+// A finalized core (see FinalizeLayout) additionally carries a mode-sorted
+// layout: entries ordered by little-endian linear offset, grouped by their
+// last-mode coordinate, which the prediction and recommendation kernels
+// iterate group-by-group instead of as a flat scan.
 type CoreTensor struct {
 	dims []int
 	idx  []int
 	val  []float64
+
+	// groupOff, when non-nil, marks the finalized mode-sorted layout:
+	// entries are sorted by little-endian linear offset (mode 0 fastest),
+	// which groups them by their last-mode coordinate, and
+	// groupOff[j]..groupOff[j+1] is the entry range whose last-mode index is
+	// j (len(groupOff) == dims[N-1]+1). Any mutation of the entry list
+	// (RemoveEntries, FromDense, RotateAll*) invalidates it; FinalizeLayout
+	// rebuilds it.
+	groupOff []int
 }
 
 // NewRandomCore returns a full core with dims = ranks whose values are drawn
@@ -69,21 +94,111 @@ func (c *CoreTensor) Index(e int) []int {
 // Value returns entry e's value.
 func (c *CoreTensor) Value(e int) float64 { return c.val[e] }
 
-// SetValue overwrites entry e's value.
+// SetValue overwrites entry e's value. The finalized layout (which depends
+// only on entry positions, not values) survives.
 func (c *CoreTensor) SetValue(e int, v float64) { c.val[e] = v }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, finalized layout included.
 func (c *CoreTensor) Clone() *CoreTensor {
 	return &CoreTensor{
-		dims: append([]int(nil), c.dims...),
-		idx:  append([]int(nil), c.idx...),
-		val:  append([]float64(nil), c.val...),
+		dims:     append([]int(nil), c.dims...),
+		idx:      append([]int(nil), c.idx...),
+		val:      append([]float64(nil), c.val...),
+		groupOff: append([]int(nil), c.groupOff...),
 	}
+}
+
+// strides returns the little-endian linear strides of the core's shape:
+// stride[0] = 1, stride[k] = stride[k-1]·dims[k-1], so an entry's linear
+// offset is Σ_k idx[k]·stride[k] — the enumeration order of NewRandomCore,
+// tensor.Dense, and FromDense.
+func (c *CoreTensor) strides() []int {
+	s := make([]int, len(c.dims))
+	acc := 1
+	for k := range c.dims {
+		s[k] = acc
+		acc *= c.dims[k]
+	}
+	return s
+}
+
+// entryOffset returns entry e's little-endian linear offset given
+// precomputed strides.
+func (c *CoreTensor) entryOffset(e int, strides []int) int {
+	n := len(c.dims)
+	base := e * n
+	off := 0
+	for k := 0; k < n; k++ {
+		off += c.idx[base+k] * strides[k]
+	}
+	return off
+}
+
+// Finalized reports whether the core carries the finalized mode-sorted
+// layout (see FinalizeLayout).
+func (c *CoreTensor) Finalized() bool { return c.groupOff != nil }
+
+// GroupOffsets returns the finalized layout's per-group entry offsets (nil
+// when the core is not finalized): entries groupOff[j]..groupOff[j+1] are
+// exactly those whose last-mode coordinate is j. The slice must not be
+// modified.
+func (c *CoreTensor) GroupOffsets() []int { return c.groupOff }
+
+// FinalizeLayout sorts the entry list into the canonical little-endian
+// offset order (mode 0 fastest — the enumeration order of a dense core) and
+// builds the per-group offsets over the last mode, the slowest-varying
+// coordinate, so each group is a contiguous entry range. The prediction and
+// top-K kernels then iterate groups, hoisting the last-mode factor value out
+// of the inner product and skipping groups whose factor entry is zero — the
+// layout that makes a pruned core's smaller |G| pay off at serve time.
+//
+// The layout is a property of entry positions only; SetValue keeps it, while
+// RemoveEntries, FromDense, and the rotations invalidate it. Finalizing an
+// already-sorted list (the common case: FromDense and RotateAllSparse both
+// emit offset order) does not move entries.
+func (c *CoreTensor) FinalizeLayout() {
+	n := len(c.dims)
+	if n == 0 {
+		return
+	}
+	strides := c.strides()
+	offs := make([]int, len(c.val))
+	sorted := true
+	for e := range c.val {
+		offs[e] = c.entryOffset(e, strides)
+		if e > 0 && offs[e] <= offs[e-1] {
+			sorted = false
+		}
+	}
+	if !sorted {
+		perm := make([]int, len(c.val))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return offs[perm[a]] < offs[perm[b]] })
+		idx := make([]int, len(c.idx))
+		val := make([]float64, len(c.val))
+		for w, e := range perm {
+			copy(idx[w*n:(w+1)*n], c.idx[e*n:(e+1)*n])
+			val[w] = c.val[e]
+		}
+		c.idx, c.val = idx, val
+	}
+
+	last := n - 1
+	counts := make([]int, c.dims[last]+1)
+	for e := 0; e < len(c.val); e++ {
+		counts[c.idx[e*n+last]+1]++
+	}
+	for j := 1; j < len(counts); j++ {
+		counts[j] += counts[j-1]
+	}
+	c.groupOff = counts
 }
 
 // RemoveEntries deletes the entries whose positions (into the current entry
 // list) are marked true in drop, compacting the list in place. It returns the
-// number of removed entries.
+// number of removed entries. The finalized layout, if any, is invalidated.
 func (c *CoreTensor) RemoveEntries(drop []bool) int {
 	n := len(c.dims)
 	w := 0
@@ -101,6 +216,7 @@ func (c *CoreTensor) RemoveEntries(drop []bool) int {
 	}
 	c.idx = c.idx[:w*n]
 	c.val = c.val[:w]
+	c.groupOff = nil
 	return removed
 }
 
@@ -118,12 +234,15 @@ func (c *CoreTensor) ToDense() *tensor.Dense {
 // FromDense rebuilds the live entry list from a dense tensor, keeping every
 // cell (including zeros, because a mode product can legitimately produce
 // structural zeros that later rotations revive — except when sparse is true,
-// in which case exact zeros are dropped).
+// in which case exact zeros are dropped). The finalized layout, if any, is
+// invalidated; the emitted entries are in canonical offset order, so a
+// subsequent FinalizeLayout does not move them.
 func (c *CoreTensor) FromDense(d *tensor.Dense, sparse bool) {
 	n := d.Order()
 	c.dims = append(c.dims[:0], d.Dims()...)
 	c.idx = c.idx[:0]
 	c.val = c.val[:0]
+	c.groupOff = nil
 	idx := make([]int, n)
 	for off, v := range d.Data() {
 		if sparse && v == 0 {
@@ -139,47 +258,148 @@ func (c *CoreTensor) FromDense(d *tensor.Dense, sparse bool) {
 // accompanies QR orthogonalization of the factor matrices. Each R must be
 // Jn x Jn. Entries that were truncated stay absent only if the rotation
 // leaves them exactly zero; in general the rotated core is dense again, which
-// matches the semantics of Eq. (8).
+// matches the semantics of Eq. (8). This is the escape hatch that preserves
+// the dense-core semantics for non-sparse fits; truncated fits use
+// RotateAllSparse, which keeps |G| through the rotation.
 func (c *CoreTensor) RotateAll(rs []*mat.Dense) {
 	d := c.ToDense()
 	d = d.ModeProductChain(rs)
 	c.FromDense(d, false)
 }
 
-// MaxAbsEntries returns the k entries with the largest |Gβ| along with their
-// indices, for relation discovery (Section V). The result is ordered by
-// descending |Gβ|.
-func (c *CoreTensor) MaxAbsEntries(k int) (indices [][]int, values []float64) {
+// RotateAllSparse is the sparsity-preserving form of RotateAll: it applies
+// G ← G ×n R(n) mode-by-mode directly on the live entry list, never
+// materializing the dense core. Because each R is upper triangular, the
+// rotation spreads every surviving entry over the down-set of its index — the
+// rotated support genuinely grows — so after rotating, the core is
+// re-truncated: entries with |Gβ| ≤ tol · max|Gγ| are dropped as numerical
+// noise (pass RotationDropTol for the documented default), and if keep > 0
+// the keep largest-magnitude entries are retained (ties broken by ascending
+// offset). With orthonormal factors the Frobenius norm of the dropped core
+// entries equals the reconstruction change ‖ΔX̂‖_F exactly, so
+// largest-magnitude retention is the error-optimal re-truncation.
+//
+// The entry list comes out in canonical offset order; per-offset
+// accumulation follows the source entry order, so equal inputs rotate
+// bit-identically. The finalized layout, if any, is invalidated.
+func (c *CoreTensor) RotateAllSparse(rs []*mat.Dense, keep int, tol float64) {
 	n := len(c.dims)
-	type pair struct {
-		e int
-		a float64
-	}
-	pairs := make([]pair, len(c.val))
-	for e, v := range c.val {
-		a := v
-		if a < 0 {
-			a = -a
-		}
-		pairs[e] = pair{e, a}
-	}
-	// Partial selection sort: k is tiny (3 in the paper).
-	if k > len(pairs) {
-		k = len(pairs)
-	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(pairs); j++ {
-			if pairs[j].a > pairs[best].a {
-				best = j
+	c.groupOff = nil
+	strides := c.strides()
+	for mode := 0; mode < n; mode++ {
+		r := rs[mode]
+		jn := c.dims[mode]
+		acc := make(map[int]float64, len(c.val))
+		for e := 0; e < len(c.val); e++ {
+			off := c.entryOffset(e, strides)
+			in := c.idx[e*n+mode]
+			rem := off - in*strides[mode]
+			v := c.val[e]
+			for j := 0; j < jn; j++ {
+				w := r.At(j, in)
+				if w == 0 {
+					continue
+				}
+				acc[rem+j*strides[mode]] += v * w
 			}
 		}
-		pairs[i], pairs[best] = pairs[best], pairs[i]
-		e := pairs[i].e
+		// Deterministic rebuild: collect the offsets, sort, emit in order.
+		keys := make([]int, 0, len(acc))
+		for off := range acc {
+			keys = append(keys, off)
+		}
+		sort.Ints(keys)
+		c.idx = c.idx[:0]
+		c.val = c.val[:0]
+		for _, off := range keys {
+			rem := off
+			for k := 0; k < n; k++ {
+				c.idx = append(c.idx, rem%c.dims[k])
+				rem /= c.dims[k]
+			}
+			c.val = append(c.val, acc[off])
+		}
+	}
+
+	// Drop sub-epsilon noise, but never the last entry standing: the largest
+	// survivor is exempt so the core cannot degenerate to the empty sum.
+	maxAbs, argmax := 0.0, -1
+	for e, v := range c.val {
+		if a := math.Abs(v); a > maxAbs || argmax < 0 {
+			maxAbs, argmax = a, e
+		}
+	}
+	if len(c.val) > 0 {
+		thr := tol * maxAbs
+		drop := make([]bool, len(c.val))
+		any := false
+		for e, v := range c.val {
+			if e != argmax && math.Abs(v) <= thr {
+				drop[e] = true
+				any = true
+			}
+		}
+		if any {
+			c.RemoveEntries(drop)
+		}
+	}
+
+	// Re-truncate to the keep largest-|Gβ| entries. Entry order is offset
+	// order, so the index tie-break is an offset tie-break.
+	if keep > 0 && len(c.val) > keep {
+		ord := make([]int, len(c.val))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool {
+			va, vb := math.Abs(c.val[ord[a]]), math.Abs(c.val[ord[b]])
+			if va != vb {
+				return va > vb
+			}
+			return ord[a] < ord[b]
+		})
+		drop := make([]bool, len(c.val))
+		for _, e := range ord[keep:] {
+			drop[e] = true
+		}
+		c.RemoveEntries(drop)
+	}
+}
+
+// MaxAbsEntries returns the k entries with the largest |Gβ| along with their
+// indices, for relation discovery (Section V). The result is ordered by
+// descending |Gβ|, ties broken by ascending entry position — the same total
+// order the recommendation heap uses, via the same bounded min-heap, so the
+// scan is O(|G|·log k) instead of the k·|G| of a selection sort.
+func (c *CoreTensor) MaxAbsEntries(k int) (indices [][]int, values []float64) {
+	n := len(c.dims)
+	if k > len(c.val) {
+		k = len(c.val)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	h := make(recHeap, 0, k)
+	for e, v := range c.val {
+		cand := Rec{Index: e, Score: math.Abs(v)}
+		if len(h) < k {
+			heap.Push(&h, cand)
+			continue
+		}
+		if better(cand, h[0]) {
+			h[0] = cand
+			heap.Fix(&h, 0)
+		}
+	}
+	indices = make([][]int, len(h))
+	values = make([]float64, len(h))
+	for i := len(values) - 1; i >= 0; i-- {
+		rec := heap.Pop(&h).(Rec)
+		e := rec.Index
 		idx := make([]int, n)
 		copy(idx, c.idx[e*n:(e+1)*n])
-		indices = append(indices, idx)
-		values = append(values, c.val[e])
+		indices[i] = idx
+		values[i] = c.val[e]
 	}
 	return indices, values
 }

@@ -105,12 +105,14 @@ func newState(x *tensor.Coord, cfg Config) *state {
 // aliases the state: further sweeps mutate it in place (Fitter.Snapshot deep
 // copies when immutability is needed).
 //
-// The echoed Config drops the OnIteration hook: it is fit-time observability,
-// not data (it is likewise excluded from serialization), and keeping it would
-// pin the hook's captured scope for the lifetime of a served model.
+// The echoed Config drops the OnIteration hook and the SparsifyHoldout
+// tensor: both are fit-time inputs, not data (they are likewise excluded
+// from serialization), and keeping them would pin the hook's captured scope
+// — or a whole held-out tensor — for the lifetime of a served model.
 func (st *state) newModel() *Model {
 	modelCfg := st.cfg
 	modelCfg.OnIteration = nil
+	modelCfg.SparsifyHoldout = nil
 	return &Model{Factors: st.factors, Core: st.core, Config: modelCfg}
 }
 
@@ -211,22 +213,35 @@ func (st *state) sweep(ctx context.Context, model *Model) error {
 
 // finish is the finalize phase (Algorithm 2 lines 8-11): record the truncated
 // |G|, orthogonalize the factors by QR and rotate the core by the R factors
-// (Eqs. 7-8, which leave the reconstruction error unchanged), and fill the
-// analytic memory figure.
+// (Eqs. 7-8), optionally prune the core under the Sparsify budget, and
+// finalize the core's mode-sorted serving layout. Truncated fits
+// (P-Tucker-Approx) rotate sparsely, so the core keeps its truncated |G|
+// through finalization instead of being re-densified.
 func (st *state) finish(model *Model) error {
-	// |G| after the last truncation, recorded before finalize's rotation
-	// re-densifies the core.
+	// |G| after the last truncation, recorded before finalize's rotation.
 	model.FinalCoreNNZ = st.core.NNZ()
-	if err := finalize(st.factors, st.core); err != nil {
+	model.IntermediateBytes = st.intermediateBytes()
+	if err := finalize(st.factors, st.core, st.cfg.Method == PTuckerApprox); err != nil {
 		return fmt.Errorf("core: orthogonalization failed: %w", err)
 	}
-	model.IntermediateBytes = st.intermediateBytes()
+	// The rotation stales the memoized Pres products (they embed the old
+	// factors and core); drop the table so any later pass — the sparsify
+	// scoring below, a warm Refit — rebuilds or bypasses it.
+	st.cache = nil
+	st.cacheW = 0
+	st.sparsifyCore(model)
+	st.core.FinalizeLayout()
 	return nil
 }
 
 // finalize performs A(n) = Q(n)R(n), substitutes Q(n) for A(n), and applies
-// G ← G ×n R(n) for every mode (Algorithm 2 lines 8-11).
-func finalize(factors []*mat.Dense, g *CoreTensor) error {
+// G ← G ×n R(n) for every mode (Algorithm 2 lines 8-11). With sparse set
+// (truncated fits) the core rotation runs on the live entry list and
+// re-truncates to the pre-rotation |G| (see RotateAllSparse) — the
+// rotation's upper-triangular R factors would otherwise re-densify the core
+// and silently undo what the truncation paid for. Dense fits keep the exact
+// Eq. (8) semantics, under which the reconstruction error is unchanged.
+func finalize(factors []*mat.Dense, g *CoreTensor, sparse bool) error {
 	rs := make([]*mat.Dense, len(factors))
 	for k, a := range factors {
 		q, r, err := mat.QRFactor(a)
@@ -236,7 +251,11 @@ func finalize(factors []*mat.Dense, g *CoreTensor) error {
 		factors[k].CopyFrom(q)
 		rs[k] = r
 	}
-	g.RotateAll(rs)
+	if sparse {
+		g.RotateAllSparse(rs, g.NNZ(), RotationDropTol)
+	} else {
+		g.RotateAll(rs)
+	}
 	return nil
 }
 

@@ -22,10 +22,21 @@ import (
 // summary statistics — followed by a CRC-32 of the stream so truncation or
 // corruption is detected at load time rather than at serve time.
 //
-// Layout (version 2; v2 appended FinalCoreNNZ to the summary — v1 streams
-// are still readable, with FinalCoreNNZ defaulting to 0):
+// Layout (version 3):
 //
 //	magic "PTKM" | version u32 | config | N factors | core | trace | summary | crc32 u32
+//
+// Version history — all older streams remain readable:
+//
+//   - v1: base format.
+//   - v2: appended FinalCoreNNZ to the summary (v1 defaults it to 0).
+//   - v3: appended Config.Sparsify to the config block, and prefixed the
+//     core record with a flags byte (bit 0: the entry list is in the
+//     finalized mode-sorted layout — strictly increasing little-endian
+//     offsets — which the reader verifies and rebuilds the group index
+//     from). Dense cores carry the same dims/nnz/entries encoding as
+//     before, so a v2-era dense core round-trips bit-identically through
+//     the v3 record.
 //
 // Float64 values are stored as their IEEE-754 bit patterns, which makes a
 // save/load round trip bit-identical: a loaded model's Predict returns
@@ -33,12 +44,21 @@ import (
 
 const (
 	modelMagic   = "PTKM"
-	modelVersion = 2
+	modelVersion = 3
 
 	// maxModelSlice bounds every length prefix read from a model stream so a
-	// corrupted or hostile file cannot trigger a huge allocation before the
-	// checksum is verified.
+	// corrupted or hostile file cannot claim an absurd element count.
 	maxModelSlice = 1 << 31
+
+	// readChunk is the element granularity of the bulk readers: slices are
+	// grown chunk-by-chunk as bytes actually arrive, so a hostile length
+	// prefix (a tiny file claiming 2³¹ entries) hits EOF after a bounded
+	// allocation instead of forcing gigabytes up front.
+	readChunk = 1 << 14
+
+	// coreFlagFinalized marks a v3 core record whose entry list is in the
+	// finalized mode-sorted layout.
+	coreFlagFinalized = 1 << 0
 )
 
 // Errors returned by the model readers.
@@ -117,13 +137,71 @@ func (b *binReader) readInts(what string) []int {
 	if b.err != nil {
 		return nil
 	}
-	xs := make([]int, n)
-	for i := range xs {
+	xs := make([]int, 0, min(n, readChunk))
+	for i := 0; i < n && b.err == nil; i++ {
 		var v int64
 		b.read(&v)
-		xs[i] = int(v)
+		xs = append(xs, int(v))
+	}
+	if b.err != nil {
+		return nil
 	}
 	return xs
+}
+
+// readFloats reads n float64 values in bounded chunks (see readChunk).
+func (b *binReader) readFloats(n int) []float64 {
+	out := make([]float64, 0, min(n, readChunk))
+	for len(out) < n && b.err == nil {
+		c := min(n-len(out), readChunk)
+		buf := make([]float64, c)
+		b.read(buf)
+		if b.err == nil {
+			out = append(out, buf...)
+		}
+	}
+	if b.err != nil {
+		return nil
+	}
+	return out
+}
+
+// readInt64s reads n int64 values in bounded chunks.
+func (b *binReader) readInt64s(n int) []int64 {
+	out := make([]int64, 0, min(n, readChunk))
+	for len(out) < n && b.err == nil {
+		c := min(n-len(out), readChunk)
+		buf := make([]int64, c)
+		b.read(buf)
+		if b.err == nil {
+			out = append(out, buf...)
+		}
+	}
+	if b.err != nil {
+		return nil
+	}
+	return out
+}
+
+// readU32sAsInts reads n uint32 values (the core index encoding) in bounded
+// chunks, widening to int.
+func (b *binReader) readU32sAsInts(n int) []int {
+	out := make([]int, 0, min(n, readChunk))
+	for len(out) < n && b.err == nil {
+		c := min(n-len(out), readChunk)
+		buf := make([]uint32, c)
+		b.read(buf)
+		if b.err != nil {
+			break
+		}
+		for _, v := range buf {
+			out = append(out, int(v))
+		}
+	}
+	if b.err != nil {
+		return nil
+	}
+	return out
 }
 
 // WriteTo serializes the model in the versioned binary format, implementing
@@ -150,6 +228,7 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw.write(boolByte(c.UpdateCore))
 	bw.write(int64(c.ChunkSize))
 	bw.write(c.SampleRate)
+	bw.write(c.Sparsify) // v3 (SparsifyHoldout is fit-time input, not data)
 
 	// Factor matrices A(1)..A(N).
 	bw.write(uint64(len(m.Factors)))
@@ -159,8 +238,15 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		bw.write(a.Data())
 	}
 
-	// Core tensor: dims, then the live entry list.
+	// Core tensor: flags (v3), dims, then the live entry list. A finalized
+	// core's entries are already offset-sorted; the flag lets the reader
+	// verify that and rebuild the group index without re-sorting.
 	g := m.Core
+	var flags uint8
+	if g.Finalized() {
+		flags |= coreFlagFinalized
+	}
+	bw.write(flags)
 	bw.writeInts(g.dims)
 	bw.write(uint64(g.NNZ()))
 	for _, i := range g.idx {
@@ -228,6 +314,9 @@ func ReadModel(r io.Reader) (*Model, error) {
 	c.UpdateCore = readBool(br)
 	br.read(&chunk)
 	br.read(&c.SampleRate)
+	if version >= 3 {
+		br.read(&c.Sparsify)
+	}
 	c.MaxIters = int(maxIters)
 	c.Threads = int(threads)
 	c.Method = Method(method)
@@ -235,7 +324,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 	c.ChunkSize = int(chunk)
 
 	nFactors := br.readLen("factor count")
-	factors := make([]*mat.Dense, 0, nFactors)
+	factors := make([]*mat.Dense, 0, min(nFactors, readChunk))
 	for k := 0; k < nFactors && br.err == nil; k++ {
 		var rows, cols uint64
 		br.read(&rows)
@@ -244,13 +333,19 @@ func ReadModel(r io.Reader) (*Model, error) {
 			br.err = fmt.Errorf("%w: factor %d shape %dx%d exceeds limit", ErrBadModelFormat, k, rows, cols)
 			break
 		}
-		data := make([]float64, rows*cols)
-		br.read(data)
+		data := br.readFloats(int(rows * cols))
 		if br.err == nil {
 			factors = append(factors, mat.NewDenseData(int(rows), int(cols), data))
 		}
 	}
 
+	var coreFlags uint8
+	if version >= 3 {
+		br.read(&coreFlags)
+		if br.err == nil && coreFlags&^uint8(coreFlagFinalized) != 0 {
+			return nil, fmt.Errorf("%w: unknown core flags %#x", ErrBadModelFormat, coreFlags)
+		}
+	}
 	g := &CoreTensor{dims: br.readInts("core dims")}
 	order := len(g.dims)
 	nnz := br.readLen("core nnz")
@@ -259,27 +354,25 @@ func ReadModel(r io.Reader) (*Model, error) {
 			ErrBadModelFormat, order, nnz, nFactors)
 	}
 	if br.err == nil {
-		g.idx = make([]int, nnz*order)
-		for i := range g.idx {
-			var v uint32
-			br.read(&v)
-			g.idx[i] = int(v)
-		}
-		g.val = make([]float64, nnz)
-		br.read(g.val)
+		g.idx = br.readU32sAsInts(nnz * order)
+		g.val = br.readFloats(nnz)
 	}
 
 	nTrace := br.readLen("trace length")
-	trace := make([]IterStats, nTrace)
-	for i := range trace {
+	trace := make([]IterStats, 0, min(nTrace, readChunk))
+	for i := 0; i < nTrace && br.err == nil; i++ {
+		var it IterStats
 		var iter, elapsed, coreNNZ int64
 		br.read(&iter)
-		br.read(&trace[i].Error)
+		br.read(&it.Error)
 		br.read(&elapsed)
 		br.read(&coreNNZ)
-		trace[i].Iter = int(iter)
-		trace[i].Elapsed = time.Duration(elapsed)
-		trace[i].CoreNNZ = int(coreNNZ)
+		it.Iter = int(iter)
+		it.Elapsed = time.Duration(elapsed)
+		it.CoreNNZ = int(coreNNZ)
+		if br.err == nil {
+			trace = append(trace, it)
+		}
 	}
 
 	m := &Model{Factors: factors, Core: g, Config: c, Trace: trace}
@@ -293,8 +386,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 	}
 	nWork := br.readLen("work-per-thread length")
 	if br.err == nil {
-		m.WorkPerThread = make([]int64, nWork)
-		br.read(m.WorkPerThread)
+		m.WorkPerThread = br.readInt64s(nWork)
 	}
 
 	if br.err != nil {
@@ -331,6 +423,22 @@ func ReadModel(r io.Reader) (*Model, error) {
 					ErrBadModelFormat, e, k, i, g.dims[k])
 			}
 		}
+	}
+	if coreFlags&coreFlagFinalized != 0 {
+		// The flag claims the entry list is already in finalized order;
+		// verify rather than trust, then rebuild the group index. A lying
+		// flag would otherwise desync the grouped kernels from the data.
+		st := g.strides()
+		prev := -1
+		for e := 0; e < nnz; e++ {
+			off := g.entryOffset(e, st)
+			if off <= prev {
+				return nil, fmt.Errorf("%w: core flagged finalized but entry %d breaks offset order",
+					ErrBadModelFormat, e)
+			}
+			prev = off
+		}
+		g.FinalizeLayout()
 	}
 	return m, nil
 }

@@ -178,6 +178,9 @@ func writeModelV1(m *Model, buf *bytes.Buffer) error {
 // reader accepts v1 and defaults the appended FinalCoreNNZ to 0.
 func TestReadModelAcceptsVersion1(t *testing.T) {
 	m, idxs := fittedModel(t, 4)
+	// v1 files predate the finalized layout; emulate one faithfully so both
+	// sides of the comparison run the same (flat) predict kernel.
+	m.Core.groupOff = nil
 	var buf bytes.Buffer
 	if err := writeModelV1(m, &buf); err != nil {
 		t.Fatal(err)

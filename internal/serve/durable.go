@@ -49,7 +49,7 @@ func (s *Server) initDurable() error {
 		log.Printf("serve: journal recovery dropped a torn %d-byte tail (crash mid-write); every intact record replays", j.Recovered)
 	}
 
-	f, err := core.ResumeFitter(m, m.Config)
+	f, err := s.resumeFitter(m)
 	if err != nil {
 		j.Close()
 		return fmt.Errorf("serve: resume fitter for replay: %w", err)
@@ -105,6 +105,19 @@ func (s *Server) initDurable() error {
 	// boot for anything that was already on disk.
 	if j.Len() > 0 {
 		s.oldestUncovered.Store(s.now().UnixNano())
+	}
+	// A replay that alone reached the refit threshold means the crash (or
+	// shutdown) interrupted a refit the live traffic had already earned;
+	// retrigger it now instead of waiting for one more observe to tip it
+	// over. The refit's own compaction supersedes a size-triggered one, and
+	// startup stops being single-threaded here, so this path returns without
+	// the unlocked compaction check below.
+	if s.opts.RefitAfter > 0 && obs >= s.opts.RefitAfter {
+		log.Printf("serve: replayed %d observations (threshold %d); resuming background refit", obs, s.opts.RefitAfter)
+		s.online.mu.Lock()
+		s.triggerRefit(f)
+		s.online.mu.Unlock()
+		return nil
 	}
 	// A process restarted with an already-oversized journal (say it crashed
 	// repeatedly before ever compacting) compacts right away instead of
@@ -311,9 +324,11 @@ func (s *Server) rebaseDurable(m *core.Model, gen int64) {
 
 // --- held-out RMSE tracking ---
 
-// initHoldout loads the held-out tensor (text or binary, auto-detected) and
-// scores the initial model, so /metrics reports RMSE from the first scrape.
-func (s *Server) initHoldout() error {
+// loadHoldout loads the held-out tensor (text or binary, auto-detected)
+// without scoring it; New scores the served model once startup replay has
+// settled, so /metrics reports RMSE from the first scrape. Loading early
+// lets resumed fitters attach the holdout as the Sparsify scoring set.
+func (s *Server) loadHoldout() error {
 	if s.opts.HoldoutPath == "" {
 		return nil
 	}
@@ -323,7 +338,6 @@ func (s *Server) initHoldout() error {
 		return fmt.Errorf("serve: holdout: %w", err)
 	}
 	s.holdout = x
-	s.updateHoldout(m)
 	return nil
 }
 

@@ -745,3 +745,62 @@ func TestCompactBytesDisabledKeepsJournal(t *testing.T) {
 		t.Fatalf("journal has %d records, want 6 (nothing rotated)", got)
 	}
 }
+
+// TestStartupReplayRetriggersRefit: a server that accumulated observations
+// past -refit-after but died before refitting must not strand them — the
+// restart counts replayed observations against the threshold and resumes the
+// background refit immediately, instead of waiting for one more live batch.
+func TestStartupReplayRetriggersRefit(t *testing.T) {
+	m := fitModel(t, 11)
+	dir := t.TempDir()
+
+	// First life: refits disabled, so every observation lands only in the
+	// journal and the in-memory fitter.
+	a, err := New(Options{Model: m, DataDir: dir,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := observeStream(61, 5)
+	total := 0
+	for _, b := range batches {
+		postObserve(t, a, b)
+		total += len(b)
+	}
+	if got := a.met.refits.Load(); got != 0 {
+		t.Fatalf("%d refits ran with RefitAfter=0", got)
+	}
+	a.Close()
+
+	// Second life: the replayed count alone crosses the threshold.
+	b, err := New(Options{Model: m, DataDir: dir, RefitAfter: total,
+		JournalSync: store.SyncPolicy{Mode: store.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.met.journalReplayed.Load(); got != int64(len(batches)) {
+		t.Fatalf("replayed %d records, want %d", got, len(batches))
+	}
+	waitFor(t, "startup-retriggered refit", func() bool { return b.met.refits.Load() >= 1 })
+	waitFor(t, "refit end", func() bool {
+		b.online.mu.Lock()
+		done := !b.online.refitting && b.online.pending == 0
+		b.online.mu.Unlock()
+		return done
+	})
+
+	// The refit compacted: its model snapshot covers the journal, and the
+	// pending counter reset, so the next observation starts a fresh window.
+	d, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasModel() {
+		t.Fatal("startup refit left no compacted model in the data dir")
+	}
+	resp := postObserve(t, b, []core.Observation{{Index: []int{1, 2, 3}, Value: 0.5}})
+	if resp.RefitTriggered {
+		t.Fatal("one observation after a fresh refit re-triggered; pending was not reset")
+	}
+}

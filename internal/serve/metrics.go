@@ -145,5 +145,6 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int) http.Handl
 		s := snap()
 		e.GaugeInt("ptucker_model_loaded_timestamp_seconds", "Unix time the serving snapshot was installed.", s.loadedAt.Unix())
 		e.GaugeInt("ptucker_model_order", "Tensor order of the served model.", int64(s.order))
+		e.GaugeInt("ptucker_model_core_nnz", "Live core-tensor entries of the served model (drops under Approx truncation and Sparsify pruning).", int64(s.coreNNZ))
 	}
 }

@@ -147,8 +147,7 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 	defer o.mu.Unlock()
 
 	if o.fitter == nil {
-		snap := s.snapshot()
-		f, err := core.ResumeFitter(snap.model, snap.model.Config)
+		f, err := s.resumeFitter(s.snapshot().model)
 		if err != nil {
 			return nil, fmt.Errorf("%w: resume fitter: %v", errObserveInternal, err)
 		}
@@ -186,23 +185,8 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 
 	o.pending += len(obs)
 	if s.opts.RefitAfter > 0 && o.pending >= s.opts.RefitAfter && !o.refitting {
-		o.refitting = true
-		o.refitFitter = f
-		o.pending = 0
+		s.triggerRefit(f)
 		resp.RefitTriggered = true
-		// The refit's context chains off the server lifetime (Close aborts
-		// it) and is additionally cancellable by a superseding reload.
-		rctx, cancel := context.WithCancel(s.life)
-		o.refitCancel = cancel
-		// Open the staging window before the refit goroutine exists, so no
-		// observe can slip between "refit owns the fitter" and "staging is
-		// accepting".
-		o.stageMu.Lock()
-		o.staging = true
-		o.stagedDims = f.Dims()
-		o.stagedCount = 0
-		o.stageMu.Unlock()
-		go s.backgroundRefit(rctx, f, cancel)
 	}
 	// Size-triggered journal compaction (no refit): checked after the refit
 	// trigger so a batch that just started a refit defers to that refit's own
@@ -211,6 +195,45 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 	resp.Dims = f.Dims()
 	resp.Pending = o.pending
 	return resp, nil
+}
+
+// resumeFitter wraps m in a Fitter configured for this server: the model's
+// own config, with Options.Sparsify overriding the pruning budget and the
+// held-out set (when loaded) attached as the budget's scoring set — so
+// background refits of a sparsified deployment re-prune, gated on
+// generalization when a holdout is available.
+func (s *Server) resumeFitter(m *core.Model) (*core.Fitter, error) {
+	cfg := m.Config
+	if s.opts.Sparsify > 0 {
+		cfg.Sparsify = s.opts.Sparsify
+	}
+	if cfg.Sparsify > 0 && s.holdout != nil {
+		cfg.SparsifyHoldout = s.holdout
+	}
+	return core.ResumeFitter(m, cfg)
+}
+
+// triggerRefit hands the fitter to a background warm refit and opens the
+// staging window. The caller holds online.mu and has already checked that no
+// refit is in flight; pending resets because the refit will absorb it.
+func (s *Server) triggerRefit(f *core.Fitter) {
+	o := &s.online
+	o.refitting = true
+	o.refitFitter = f
+	o.pending = 0
+	// The refit's context chains off the server lifetime (Close aborts
+	// it) and is additionally cancellable by a superseding reload.
+	rctx, cancel := context.WithCancel(s.life)
+	o.refitCancel = cancel
+	// Open the staging window before the refit goroutine exists, so no
+	// observe can slip between "refit owns the fitter" and "staging is
+	// accepting".
+	o.stageMu.Lock()
+	o.staging = true
+	o.stagedDims = f.Dims()
+	o.stagedCount = 0
+	o.stageMu.Unlock()
+	go s.backgroundRefit(rctx, f, cancel)
 }
 
 // stageObserve accepts a batch while a refit owns the fitter: it plans

@@ -76,6 +76,7 @@ type snapshot struct {
 	loadedAt time.Time
 	order    int
 	dims     []int
+	coreNNZ  int // live core entries — the sparsification observable
 }
 
 func newSnapshot(m *core.Model, path string, workers int, now time.Time) *snapshot {
@@ -91,6 +92,7 @@ func newSnapshot(m *core.Model, path string, workers int, now time.Time) *snapsh
 		loadedAt: now,
 		order:    p.Order(),
 		dims:     p.Dims(),
+		coreNNZ:  m.Core.NNZ(),
 	}
 }
 
@@ -115,7 +117,15 @@ type Options struct {
 	// RefitAfter triggers a background warm refit (and snapshot swap) once
 	// that many observations have arrived via /v1/observe since the last
 	// refit. 0 disables automatic refits; fold-ins still publish immediately.
+	// A startup replay that alone reaches the threshold retriggers the refit
+	// the crash interrupted.
 	RefitAfter int
+	// Sparsify overrides the served model's Config.Sparsify for background
+	// refits: refit results are pruned under this relative RMSE-degradation
+	// budget (see core.Config.Sparsify). When a holdout is configured
+	// (HoldoutPath), the budget is checked against it, gating pruning on
+	// generalization. 0 keeps whatever budget the model was fitted with.
+	Sparsify float64
 	// MaxBodyBytes caps the request body size on every /v1/* endpoint;
 	// larger bodies are answered 413. 0 means DefaultMaxBody, negative
 	// disables the limit.
@@ -314,17 +324,19 @@ func New(opts Options) (*Server, error) {
 	}
 	s.cur.Store(newSnapshot(m, srcPath, opts.Workers, s.now()))
 
+	// The holdout loads before the journal replay: resumed fitters attach it
+	// as the Sparsify budget's scoring set, and replay may resume one.
+	if err := s.loadHoldout(); err != nil {
+		return nil, err
+	}
 	// Crash recovery: open the journal and replay uncovered records through
-	// the live plan/apply path, then load the held-out scoring set.
+	// the live plan/apply path.
 	if err := s.initDurable(); err != nil {
 		return nil, err
 	}
-	if err := s.initHoldout(); err != nil {
-		if s.journal != nil {
-			s.journal.Close()
-		}
-		return nil, err
-	}
+	// Score the model actually being served — after replay, which may have
+	// grown it beyond what was loaded from disk.
+	s.updateHoldout(s.snapshot().model)
 
 	// MaxBatch 1 disables coalescing entirely: handlePredict scores on the
 	// caller's goroutine and no dispatcher is spun up.

@@ -424,7 +424,7 @@ func TestConcurrentReloadWhilePredicting(t *testing.T) {
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
-	_, ts := testServer(t, Options{})
+	s, ts := testServer(t, Options{})
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -464,6 +464,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"ptucker_coalesced_batches_total",
 		"ptucker_reloads_total 0",
 		"ptucker_model_order 3",
+		fmt.Sprintf("ptucker_model_core_nnz %d", s.snapshot().coreNNZ),
 	} {
 		if !strings.Contains(metricsText, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, metricsText)

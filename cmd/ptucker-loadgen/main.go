@@ -1,7 +1,7 @@
 // Command ptucker-loadgen is a closed-loop load generator for ptucker-serve:
 // a fixed number of connections each issue one request at a time — predict,
-// predict-batch, or recommend, in a configurable ratio — for a fixed
-// duration, and the run is summarized as JSON: sustained QPS plus
+// predict-batch, recommend, or observe, in a configurable ratio — for a
+// fixed duration, and the run is summarized as JSON: sustained QPS plus
 // p50/p95/p99 latency per operation.
 //
 // Closed-loop means throughput is what the server actually sustains with
@@ -11,12 +11,22 @@
 //
 // The target's shape is discovered from /healthz; request indices are drawn
 // uniformly from the advertised dims with a deterministic seed, so two runs
-// against the same model issue the same queries.
+// against the same model issue the same queries. Observe requests append new
+// values to existing cells only (never new rows), so the model's shape stays
+// stable for the read traffic.
+//
+// With -replicas the read mix spreads round-robin across the primary and the
+// listed follower addresses while writes (the observe mix) go only to the
+// primary — a replication-aware harness: the per-target breakdown in the
+// report shows whether reads scale linearly across the replica set. -token
+// sends the primary's bearer token on observe requests.
 //
 // Usage:
 //
 //	ptucker-loadgen -addr http://localhost:8080 -conns 64 -duration 30s \
 //	    -mix predict=8,batch=1,recommend=1 -batch-size 32 -k 10 -out report.json
+//	ptucker-loadgen -addr http://primary:8080 -replicas http://r1:8081,http://r2:8082 \
+//	    -mix predict=16,recommend=2,observe=1 -token $TOKEN
 package main
 
 import (
@@ -38,10 +48,12 @@ import (
 // config is one load-generation run, separated from flag parsing so tests
 // can drive runs in-process.
 type config struct {
-	Addr      string        // base URL of the target server
+	Addr      string        // base URL of the primary (takes writes and reads)
+	Replicas  []string      // follower base URLs; the read mix spreads over Addr + Replicas
+	Token     string        // bearer token sent on observe requests (the primary's -auth-token)
 	Conns     int           // concurrent closed-loop connections
 	Duration  time.Duration // how long to generate load
-	Mix       string        // weighted op mix, e.g. "predict=8,batch=1,recommend=1"
+	Mix       string        // weighted op mix, e.g. "predict=8,batch=1,recommend=1,observe=1"
 	BatchSize int           // indices per predict-batch request
 	K         int           // top-K size per recommend request
 	Seed      int64         // RNG seed (per-connection streams derive from it)
@@ -49,7 +61,10 @@ type config struct {
 }
 
 // opNames are the generator's operations; mix weights refer to these.
-var opNames = []string{"predict", "batch", "recommend"}
+// observe is the single write op: it always targets the primary.
+var opNames = []string{"predict", "batch", "recommend", "observe"}
+
+const opObserve = 3
 
 // opReport summarizes one operation's latency distribution.
 type opReport struct {
@@ -61,29 +76,51 @@ type opReport struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// targetReport is one server's share of the run: its sustained QPS and
+// per-op latency, so read scaling across replicas is measurable per box.
+type targetReport struct {
+	Requests int64                `json:"requests"`
+	Errors   int64                `json:"errors"`
+	QPS      float64              `json:"qps"`
+	Ops      map[string]*opReport `json:"ops"`
+}
+
 // report is the run summary, marshaled as the tool's JSON output.
 type report struct {
 	Addr        string               `json:"addr"`
+	Replicas    []string             `json:"replicas,omitempty"`
 	Connections int                  `json:"connections"`
 	DurationSec float64              `json:"duration_seconds"`
 	Requests    int64                `json:"requests"`
 	Errors      int64                `json:"errors"`
 	QPS         float64              `json:"qps"`
 	Ops         map[string]*opReport `json:"ops"`
+	// Targets breaks the run down per server (keyed by base URL) when
+	// replicas are configured.
+	Targets map[string]*targetReport `json:"targets,omitempty"`
 }
 
 // connStats is one connection's private tally, merged after the run so the
-// hot loop shares nothing.
+// hot loop shares nothing. Series are indexed [target][op].
 type connStats struct {
-	count  [3]int64
-	errors [3]int64
-	lats   [3][]int64 // nanoseconds, one series per op
+	count  [][4]int64
+	errors [][4]int64
+	lats   [][4][]int64 // nanoseconds
 }
 
-// parseMix reads "predict=8,batch=1,recommend=1" into per-op weights. Ops
-// omitted from the string get weight 0; at least one weight must be positive.
-func parseMix(mix string) ([3]float64, error) {
-	var w [3]float64
+func newConnStats(targets int) *connStats {
+	return &connStats{
+		count:  make([][4]int64, targets),
+		errors: make([][4]int64, targets),
+		lats:   make([][4][]int64, targets),
+	}
+}
+
+// parseMix reads "predict=8,batch=1,recommend=1,observe=1" into per-op
+// weights. Ops omitted from the string get weight 0; at least one weight
+// must be positive.
+func parseMix(mix string) ([4]float64, error) {
+	var w [4]float64
 	total := 0.0
 	for _, part := range strings.Split(mix, ",") {
 		part = strings.TrimSpace(part)
@@ -107,7 +144,7 @@ func parseMix(mix string) ([3]float64, error) {
 			}
 		}
 		if !found {
-			return w, fmt.Errorf("unknown op %q (want predict, batch, or recommend)", kv[0])
+			return w, fmt.Errorf("unknown op %q (want predict, batch, recommend, or observe)", kv[0])
 		}
 		total += v
 	}
@@ -118,14 +155,14 @@ func parseMix(mix string) ([3]float64, error) {
 }
 
 // pickOp samples an operation index from the cumulative weights.
-func pickOp(rng *rand.Rand, cum [3]float64) int {
-	r := rng.Float64() * cum[2]
+func pickOp(rng *rand.Rand, cum [4]float64) int {
+	r := rng.Float64() * cum[len(cum)-1]
 	for i, c := range cum {
 		if r < c {
 			return i
 		}
 	}
-	return 2
+	return len(cum) - 1
 }
 
 // healthResponse is the slice of /healthz the generator needs.
@@ -158,7 +195,7 @@ func discoverDims(client *http.Client, addr string) ([]int, error) {
 	return h.Dims, nil
 }
 
-// run executes one closed-loop load generation against cfg.Addr.
+// run executes one closed-loop load generation against cfg.Addr (+ replicas).
 func run(cfg config) (*report, error) {
 	if cfg.Conns <= 0 {
 		return nil, fmt.Errorf("loadgen: need at least one connection")
@@ -179,20 +216,26 @@ func run(cfg config) (*report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cum [3]float64
+	var cum [4]float64
 	acc := 0.0
 	for i, w := range weights {
 		acc += w
 		cum[i] = acc
 	}
 
+	// Target 0 is the primary; reads round-robin over all targets, writes
+	// stick to 0.
+	targets := append([]string{cfg.Addr}, cfg.Replicas...)
+
 	client := &http.Client{
 		Timeout: cfg.Timeout,
 		Transport: &http.Transport{
-			MaxIdleConns:        cfg.Conns,
+			MaxIdleConns:        cfg.Conns * len(targets),
 			MaxIdleConnsPerHost: cfg.Conns,
 		},
 	}
+	// The shape comes from the primary — the write authority; replicas
+	// converge to it.
 	dims, err := discoverDims(client, cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -203,25 +246,35 @@ func run(cfg config) (*report, error) {
 	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Conns; c++ {
-		st := &connStats{}
+		st := newConnStats(len(targets))
 		stats[c] = st
 		wg.Add(1)
 		go func(conn int, st *connStats) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(conn)*7919))
 			gen := requestGen{rng: rng, dims: dims, batch: cfg.BatchSize, k: cfg.K}
+			rr := conn // stagger the round-robin start across connections
 			for time.Now().Before(deadline) {
 				op := pickOp(rng, cum)
+				ti := 0
+				if op != opObserve && len(targets) > 1 {
+					ti = rr % len(targets)
+					rr++
+				}
 				path, body := gen.next(op)
+				token := ""
+				if op == opObserve {
+					token = cfg.Token
+				}
 				t0 := time.Now()
-				ok := post(client, cfg.Addr+path, body)
+				ok := post(client, targets[ti]+path, body, token)
 				lat := time.Since(t0)
-				st.count[op]++
+				st.count[ti][op]++
 				if !ok {
-					st.errors[op]++
+					st.errors[ti][op]++
 					continue
 				}
-				st.lats[op] = append(st.lats[op], lat.Nanoseconds())
+				st.lats[ti][op] = append(st.lats[ti][op], lat.Nanoseconds())
 			}
 		}(c, st)
 	}
@@ -230,36 +283,78 @@ func run(cfg config) (*report, error) {
 
 	rep := &report{
 		Addr:        cfg.Addr,
+		Replicas:    cfg.Replicas,
 		Connections: cfg.Conns,
 		DurationSec: elapsed.Seconds(),
 		Ops:         make(map[string]*opReport, len(opNames)),
 	}
-	for i, name := range opNames {
-		var merged []int64
-		op := &opReport{}
-		for _, st := range stats {
-			op.Count += st.count[i]
-			op.Errors += st.errors[i]
-			merged = append(merged, st.lats[i]...)
+	if len(targets) > 1 {
+		rep.Targets = make(map[string]*targetReport, len(targets))
+	}
+	summarize := func(ti int) *targetReport {
+		tr := &targetReport{Ops: make(map[string]*opReport, len(opNames))}
+		for i, name := range opNames {
+			var merged []int64
+			op := &opReport{}
+			for _, st := range stats {
+				op.Count += st.count[ti][i]
+				op.Errors += st.errors[ti][i]
+				merged = append(merged, st.lats[ti][i]...)
+			}
+			if op.Count == 0 {
+				continue
+			}
+			sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+			op.P50Ms = percentileMs(merged, 0.50)
+			op.P95Ms = percentileMs(merged, 0.95)
+			op.P99Ms = percentileMs(merged, 0.99)
+			if n := len(merged); n > 0 {
+				op.MaxMs = float64(merged[n-1]) / 1e6
+			}
+			tr.Ops[name] = op
+			tr.Requests += op.Count
+			tr.Errors += op.Errors
 		}
-		if op.Count == 0 {
-			continue
+		if elapsed.Seconds() > 0 {
+			tr.QPS = float64(tr.Requests-tr.Errors) / elapsed.Seconds()
 		}
-		sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
-		op.P50Ms = percentileMs(merged, 0.50)
-		op.P95Ms = percentileMs(merged, 0.95)
-		op.P99Ms = percentileMs(merged, 0.99)
-		if n := len(merged); n > 0 {
-			op.MaxMs = float64(merged[n-1]) / 1e6
+		return tr
+	}
+	for ti, addr := range targets {
+		tr := summarize(ti)
+		if rep.Targets != nil {
+			rep.Targets[addr] = tr
 		}
-		rep.Ops[name] = op
-		rep.Requests += op.Count
-		rep.Errors += op.Errors
+		rep.Requests += tr.Requests
+		rep.Errors += tr.Errors
+		for name, op := range tr.Ops {
+			agg, ok := rep.Ops[name]
+			if !ok {
+				copyOp := *op
+				rep.Ops[name] = &copyOp
+				continue
+			}
+			// Aggregate counts exactly; approximate the combined quantiles
+			// by the worst target's (conservative for an SLO check).
+			agg.Count += op.Count
+			agg.Errors += op.Errors
+			agg.P50Ms = maxf(agg.P50Ms, op.P50Ms)
+			agg.P95Ms = maxf(agg.P95Ms, op.P95Ms)
+			agg.P99Ms = maxf(agg.P99Ms, op.P99Ms)
+			agg.MaxMs = maxf(agg.MaxMs, op.MaxMs)
+		}
 	}
 	if rep.DurationSec > 0 {
 		rep.QPS = float64(rep.Requests-rep.Errors) / rep.DurationSec
 	}
 	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // percentileMs reads the q-th quantile (nearest-rank on a sorted series) in
@@ -305,6 +400,22 @@ func (g *requestGen) next(op int) (string, []byte) {
 			Indexes [][]int `json:"indexes"`
 		}{idxs})
 		return "/v1/predict-batch", body
+	case opObserve:
+		// Appends to existing cells only: indices stay inside the
+		// advertised dims, so the shape the read traffic was generated
+		// against never shifts under it.
+		type obs struct {
+			Index []int   `json:"index"`
+			Value float64 `json:"value"`
+		}
+		batch := make([]obs, 4)
+		for i := range batch {
+			batch[i] = obs{Index: g.index(), Value: g.rng.Float64()}
+		}
+		body, _ := json.Marshal(struct {
+			Observations []obs `json:"observations"`
+		}{batch})
+		return "/v1/observe", body
 	default:
 		q := g.index()
 		mode := g.rng.Intn(len(g.dims))
@@ -319,8 +430,16 @@ func (g *requestGen) next(op int) (string, []byte) {
 
 // post issues one request and reports success. The body is drained so the
 // transport can reuse the connection — essential for closed-loop throughput.
-func post(client *http.Client, url string, body []byte) bool {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func post(client *http.Client, url string, body []byte, token string) bool {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return false
 	}
@@ -329,12 +448,26 @@ func post(client *http.Client, url string, body []byte) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// parseReplicas splits a comma-separated -replicas list into base URLs.
+func parseReplicas(s string) []string {
+	var out []string
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		if r != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "base URL of the ptucker-serve instance")
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the primary ptucker-serve instance")
+		replicas = flag.String("replicas", "", "comma-separated follower base URLs; the read mix spreads across primary + replicas, writes stay on the primary")
+		token    = flag.String("token", "", "bearer token sent on observe requests (the primary's -auth-token)")
 		conns    = flag.Int("conns", 32, "concurrent closed-loop connections")
 		duration = flag.Duration("duration", 30*time.Second, "how long to generate load")
-		mix      = flag.String("mix", "predict=8,batch=1,recommend=1", "weighted op mix (predict, batch, recommend)")
+		mix      = flag.String("mix", "predict=8,batch=1,recommend=1", "weighted op mix (predict, batch, recommend, observe)")
 		batch    = flag.Int("batch-size", 16, "indices per predict-batch request")
 		k        = flag.Int("k", 10, "top-K per recommend request")
 		seed     = flag.Int64("seed", 1, "RNG seed (per-connection streams derive from it)")
@@ -346,6 +479,8 @@ func main() {
 
 	rep, err := run(config{
 		Addr:      strings.TrimRight(*addr, "/"),
+		Replicas:  parseReplicas(*replicas),
+		Token:     *token,
 		Conns:     *conns,
 		Duration:  *duration,
 		Mix:       *mix,

@@ -40,16 +40,29 @@ func TestParseMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w != [3]float64{8, 1, 1} {
+	if w != [4]float64{8, 1, 1, 0} {
 		t.Fatalf("weights = %v", w)
 	}
-	if w, err := parseMix("predict=1"); err != nil || w != [3]float64{1, 0, 0} {
+	if w, err := parseMix("predict=1"); err != nil || w != [4]float64{1, 0, 0, 0} {
 		t.Fatalf("predict-only mix: %v %v", w, err)
+	}
+	if w, err := parseMix("predict=4,observe=1"); err != nil || w != [4]float64{4, 0, 0, 1} {
+		t.Fatalf("observe mix: %v %v", w, err)
 	}
 	for _, bad := range []string{"", "predict=0", "nope=1", "predict", "predict=-1"} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseReplicas(t *testing.T) {
+	got := parseReplicas(" http://a:1/, ,http://b:2 ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("parseReplicas = %v", got)
+	}
+	if got := parseReplicas(""); got != nil {
+		t.Fatalf("empty list = %v", got)
 	}
 }
 
@@ -98,7 +111,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Fatalf("QPS = %v, want > 0", rep.QPS)
 	}
 	// Every op in the mix must have been exercised and summarized.
-	for _, name := range opNames {
+	for _, name := range []string{"predict", "batch", "recommend"} {
 		op, ok := rep.Ops[name]
 		if !ok || op.Count == 0 {
 			t.Fatalf("op %q missing from the report: %+v", name, rep.Ops)
@@ -109,4 +122,98 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	t.Logf("loadgen smoke: %d requests in %.1fs → %.0f QPS (predict p99 %.2fms)",
 		rep.Requests, rep.DurationSec, rep.QPS, rep.Ops["predict"].P99Ms)
+}
+
+// TestReplicationSmoke is the replication end-to-end gate: a durable primary
+// plus a follower bootstrapped from it take a mixed read+write load with the
+// read mix spread across both targets and writes pinned to the primary. The
+// report must show traffic on both targets with zero errors, and the
+// follower must drain to the primary's applied sequence afterwards. CI runs
+// it for 30s via REPLICATION_SMOKE_DURATION; the default keeps local
+// `go test` fast.
+func TestReplicationSmoke(t *testing.T) {
+	d := 2 * time.Second
+	if env := os.Getenv("REPLICATION_SMOKE_DURATION"); env != "" {
+		parsed, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("REPLICATION_SMOKE_DURATION=%q: %v", env, err)
+		}
+		d = parsed
+	}
+
+	const token = "smoke-token"
+	primary, err := serve.New(serve.Options{
+		Model:     tinyModel(t),
+		MaxBatch:  32,
+		Shards:    2,
+		DataDir:   t.TempDir(),
+		AuthToken: token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	pts := httptest.NewServer(primary.Handler())
+	defer pts.Close()
+
+	follower, err := serve.New(serve.Options{
+		Follow:    pts.URL,
+		AuthToken: token,
+		MaxBatch:  32,
+		Shards:    2,
+		PollWait:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fts := httptest.NewServer(follower.Handler())
+	defer fts.Close()
+
+	rep, err := run(config{
+		Addr:      pts.URL,
+		Replicas:  []string{fts.URL},
+		Token:     token,
+		Conns:     8,
+		Duration:  d,
+		Mix:       "predict=8,batch=1,recommend=1,observe=1",
+		BatchSize: 8,
+		K:         5,
+		Seed:      1,
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d of %d requests errored", rep.Errors, rep.Requests)
+	}
+	if rep.Ops["observe"] == nil || rep.Ops["observe"].Count == 0 {
+		t.Fatal("no observes issued")
+	}
+	for _, target := range []string{pts.URL, fts.URL} {
+		tr := rep.Targets[target]
+		if tr == nil || tr.Requests == 0 {
+			t.Fatalf("target %s got no traffic: %+v", target, rep.Targets)
+		}
+	}
+	if obs := rep.Targets[fts.URL].Ops["observe"]; obs != nil {
+		t.Fatalf("follower received %d observes; writes must stay on the primary", obs.Count)
+	}
+
+	// The follower must drain the stream: wait until its applied sequence
+	// reaches the primary's.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		p, f := primary.AppliedSeq(), follower.AppliedSeq()
+		if f >= p {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, primary at %d", f, p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Logf("replication smoke: %d requests → %.0f QPS across 2 targets, follower caught up at seq %d",
+		rep.Requests, rep.QPS, follower.AppliedSeq())
 }

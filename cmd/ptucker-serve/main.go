@@ -33,11 +33,24 @@
 // request is bounded by -timeout (503). SIGINT/SIGTERM drain the listener
 // gracefully before exiting.
 //
+// With -follow the process runs as a read replica instead: it bootstraps
+// its model from the primary at the given URL, tails the primary's journal
+// stream (GET /v1/journal), and replays every observation through the same
+// plan/apply path — serving /v1/predict and /v1/recommend bit-identically
+// to a caught-up primary while answering writes with 403 and a Location
+// hint at the primary. A replica with -data-dir keeps a local copy of the
+// stream and resumes from it across restarts; -max-lag turns /healthz 503
+// once the replica goes stale so load balancers eject it. The primary needs
+// -data-dir (the journal is the replication log) and, when -auth-token is
+// set, the follower sends the same token on the stream.
+//
 // Usage:
 //
 //	ptucker-serve -model model.ptkm -addr :8080 -refit-after 1000 -watch 5s
 //	ptucker-serve -model model.ptkm -data-dir ./data -journal-sync always \
 //	    -auth-token $TOKEN -holdout test.tns
+//	ptucker-serve -follow http://primary:8080 -addr :8081 -data-dir ./replica \
+//	    -auth-token $TOKEN -max-lag 30s
 //	curl -s localhost:8080/v1/predict -d '{"index":[3,7,1]}'
 //	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10,"exclude":[7]}'
 //	curl -s localhost:8080/v1/observe -d '{"observations":[{"index":[50,7,1],"value":0.9}]}'
@@ -77,11 +90,13 @@ func main() {
 		compactAge  = flag.Duration("compact-age", 0, "compact the journal once its oldest uncovered record is older than this wall-clock age (0 disables; needs -data-dir)")
 		journalSync = flag.String("journal-sync", "batch", "journal fsync policy: always, none, batch, or a batching interval like 250ms")
 		holdout     = flag.String("holdout", "", "held-out test tensor (text or binary); RMSE is reported on /metrics across refits")
-		authToken   = flag.String("auth-token", "", "bearer token required on mutating endpoints (/v1/observe, /v1/reload); empty leaves them open")
+		authToken   = flag.String("auth-token", "", "bearer token required on mutating and replication endpoints; empty leaves them open (a follower sends it to its primary)")
+		follow      = flag.String("follow", "", "run as a read replica of the primary at this base URL (bootstraps the model from it, tails its journal, rejects writes); excludes -model")
+		maxLag      = flag.Duration("max-lag", 0, "follower /healthz goes 503 once the replica has not confirmed being caught up for this long (0 reports lag but stays ready; needs -follow)")
 	)
 	flag.Parse()
-	if *model == "" {
-		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required")
+	if *follow == "" && *model == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required (or -follow to run as a replica)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -99,9 +114,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptucker-serve: -compact-age needs -data-dir")
 		os.Exit(2)
 	}
+	if *follow != "" {
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"-model", *model != ""},
+			{"-refit-after", *refitAfter != 0},
+			{"-compact-age", *compactAge != 0},
+			{"-watch", *watch != 0},
+		}
+		for _, f := range incompatible {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "ptucker-serve: %s cannot be combined with -follow (a replica's model comes from its primary)\n", f.name)
+				os.Exit(2)
+			}
+		}
+	}
+	if *maxLag > 0 && *follow == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -max-lag needs -follow")
+		os.Exit(2)
+	}
 
 	s, err := serve.New(serve.Options{
 		ModelPath:    *model,
+		Follow:       *follow,
+		MaxLag:       *maxLag,
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
 		Shards:       *shards,
@@ -166,8 +204,12 @@ func main() {
 		}
 	}()
 
+	source := *model
+	if *follow != "" {
+		source = "replica of " + *follow
+	}
 	log.Printf("ptucker-serve: serving %s on %s (workers=%d, max-batch=%d, shards=%d)",
-		*model, *addr, *workers, *maxBatch, s.Shards())
+		source, *addr, *workers, *maxBatch, s.Shards())
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ptucker-serve: %v", err)

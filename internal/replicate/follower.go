@@ -1,0 +1,147 @@
+package replicate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/store"
+)
+
+// An Applier is the follower's local model state: the serving layer
+// implements it over its fitter + snapshot machinery. The Follower run loop
+// is the only caller, strictly sequentially.
+type Applier interface {
+	// Rebase discards all local state and installs a freshly bootstrapped
+	// model; subsequent Apply calls start at bs.Covered+1. A Rebase error
+	// is fatal to the follower (the local state could not be replaced).
+	Rebase(bs *Bootstrap) error
+	// Apply applies one journal record. Records arrive with strictly
+	// consecutive sequences; Apply errors are fatal (the record was
+	// validated by the primary, so a local failure means divergence).
+	Apply(rec store.Record) error
+	// AppliedSeq is the highest sequence Apply (or Rebase) has reflected.
+	AppliedSeq() uint64
+	// CaughtUp reports a completed poll: the primary's last applied
+	// sequence was primaryLast at response time. The serving layer derives
+	// its staleness (lag) clock from it.
+	CaughtUp(primaryLast uint64)
+}
+
+// Follower tails one primary and keeps an Applier converged with it:
+// bootstrap when out of sync, then poll → decode → apply, with jittered
+// backoff across disconnects. Run owns all state; a Follower is not
+// concurrent-safe.
+type Follower struct {
+	Client  *Client
+	Applier Applier
+	// Order is the model order (journal record shape). Zero means unknown
+	// until the first bootstrap sets it; a follower resuming from local
+	// state must pre-set it along with Identity.
+	Order int
+	// Identity is the primary identity the Applier's current state belongs
+	// to. The zero Identity (epoch 0 is never issued) means "no usable
+	// state": Run bootstraps first. A follower resuming from a local data
+	// directory pre-sets it and Run starts by polling; if the primary
+	// moved on meanwhile the first poll answers 410 and Run re-bootstraps.
+	Identity Identity
+	// Logf receives progress and retry messages (nil discards them).
+	Logf func(format string, args ...interface{})
+}
+
+func (f *Follower) logf(format string, args ...interface{}) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// Run drives the follower until ctx is cancelled (returns nil) or a fatal
+// local error occurs (Rebase/Apply failed, or the stream handed us records
+// that cannot extend what we applied).
+func (f *Follower) Run(ctx context.Context) error {
+	attempt := 0
+	pause := func() error {
+		attempt++
+		d := Backoff(f.Client.Primary, attempt)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+			return nil
+		}
+	}
+	for ctx.Err() == nil {
+		if f.Identity == (Identity{}) {
+			bs, err := f.Client.Bootstrap(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				f.logf("replicate: bootstrap from %s failed: %v (retrying)", f.Client.Primary, err)
+				if pause() != nil {
+					return nil
+				}
+				continue
+			}
+			if err := f.Applier.Rebase(bs); err != nil {
+				return fmt.Errorf("replicate: install bootstrap: %w", err)
+			}
+			f.Identity = bs.Identity
+			f.Order = bs.Model.Order()
+			attempt = 0
+			f.logf("replicate: bootstrapped from %s at seq %d (%s)", f.Client.Primary, bs.Covered, bs.Identity)
+		}
+
+		ch, err := f.Client.Poll(ctx, f.Identity, f.Applier.AppliedSeq())
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrOutOfSync):
+			f.logf("replicate: %v", err)
+			f.Identity = Identity{}
+			continue
+		default:
+			if ctx.Err() != nil {
+				return nil
+			}
+			f.logf("replicate: poll %s: %v (retrying)", f.Client.Primary, err)
+			if pause() != nil {
+				return nil
+			}
+			continue
+		}
+		attempt = 0
+		if err := f.apply(ch); err != nil {
+			return err
+		}
+		f.Applier.CaughtUp(ch.LastSeq)
+	}
+	return nil
+}
+
+// apply decodes a chunk's frames and feeds them to the Applier in order. A
+// torn frame at the tail (the connection dropped mid-record) ends the chunk
+// cleanly — the next poll resumes after the last intact record. A corrupt
+// frame or a sequence gap is fatal: the bytes cannot extend our state.
+func (f *Follower) apply(ch *Chunk) error {
+	b := ch.Frames
+	for len(b) > 0 {
+		rec, n, err := store.DecodeRecord(b, f.Order)
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			f.logf("replicate: dropped torn %d-byte frame at chunk tail; re-polling", len(b))
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("replicate: corrupt stream frame: %w", err)
+		}
+		if want := f.Applier.AppliedSeq() + 1; rec.Seq != want {
+			return fmt.Errorf("replicate: stream gap: got seq %d, want %d", rec.Seq, want)
+		}
+		if err := f.Applier.Apply(rec); err != nil {
+			return fmt.Errorf("replicate: apply seq %d: %w", rec.Seq, err)
+		}
+		b = b[n:]
+	}
+	return nil
+}

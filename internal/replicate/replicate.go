@@ -1,0 +1,293 @@
+// Package replicate ships the observation journal from a primary
+// ptucker-serve process to read replicas over HTTP.
+//
+// The primary is the only writer: it accepts /v1/observe, journals every
+// batch before applying it, and exposes the journal as a stream. A follower
+// bootstraps from the primary's current model (which covers everything up to
+// a sequence number), then tails the stream and replays each record through
+// the same plan/apply path the primary used. Observation application draws
+// no randomness, so a caught-up follower's served predictions are
+// bit-identical to the primary's — the property the repo's kill-and-restart
+// tests already pin for a single process, extended across the wire.
+//
+// Wire protocol (all endpoints bearer-authed like the primary's mutating
+// endpoints):
+//
+//	GET /v1/journal/bootstrap
+//	    → 200, headers X-Ptucker-Epoch / X-Ptucker-Gen / X-Ptucker-Covered-Seq,
+//	      body = the primary's current model in its binary model format.
+//	      The model covers every journal record with Seq ≤ Covered-Seq.
+//
+//	GET /v1/journal?after=S&epoch=E&gen=G&wait=D
+//	    → 200, body = zero or more journal record frames, verbatim in the
+//	      journal's on-disk framing (length u32 | crc32 u32 | payload), for
+//	      consecutive sequences starting at S+1. An empty body means the
+//	      follower was caught up for the whole long-poll window D. Headers
+//	      X-Ptucker-Epoch / X-Ptucker-Gen / X-Ptucker-Base-Seq /
+//	      X-Ptucker-Last-Seq describe the primary at response time.
+//	    → 410 Gone when (E, G) no longer identify the primary's model history
+//	      (the primary restarted, reloaded, or published a refit) or when the
+//	      records after S were compacted away. The follower's local state can
+//	      no longer be extended; it re-bootstraps.
+//
+// epoch counts primary process starts (persisted in the primary's data
+// directory), so a restarted primary — which may have lost journal-tail
+// records under a relaxed fsync policy — is never silently trusted. gen
+// counts in-memory model replacements that bypass the journal: reloads and
+// background-refit publishes. Either changing invalidates every byte a
+// follower derived from the old identity.
+package replicate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Endpoint paths and header names of the replication protocol.
+const (
+	// StreamPath serves journal record frames from a client-supplied
+	// sequence (long-poll).
+	StreamPath = "/v1/journal"
+	// BootstrapPath serves the primary's current model and its covered
+	// sequence.
+	BootstrapPath = "/v1/journal/bootstrap"
+
+	// HeaderEpoch is the primary's process epoch (persisted, bumped at
+	// every primary startup).
+	HeaderEpoch = "X-Ptucker-Epoch"
+	// HeaderGen is the primary's model generation (in-memory, bumped at
+	// every reload and refit publish).
+	HeaderGen = "X-Ptucker-Gen"
+	// HeaderBaseSeq is the journal's base sequence (records below it were
+	// compacted away).
+	HeaderBaseSeq = "X-Ptucker-Base-Seq"
+	// HeaderLastSeq is the highest sequence the primary had applied when
+	// the response was written.
+	HeaderLastSeq = "X-Ptucker-Last-Seq"
+	// HeaderCoveredSeq, on a bootstrap response, is the highest journal
+	// sequence the shipped model covers.
+	HeaderCoveredSeq = "X-Ptucker-Covered-Seq"
+
+	// StreamContentType marks a body of raw journal record frames.
+	StreamContentType = "application/x-ptucker-journal"
+	// ModelContentType marks a body in the binary model format.
+	ModelContentType = "application/x-ptucker-model"
+)
+
+// DefaultPollWait is the long-poll window a Client asks for when none is
+// configured: how long the primary holds an empty poll open waiting for new
+// records before answering "still caught up".
+const DefaultPollWait = 10 * time.Second
+
+// ErrOutOfSync reports that the follower's local state can no longer be
+// extended from the primary's journal — the primary answered 410 (epoch or
+// generation changed, or the needed records were compacted away) — and the
+// follower must discard its state and re-bootstrap.
+var ErrOutOfSync = errors.New("replicate: local state out of sync with primary; re-bootstrap required")
+
+// Identity names one continuous model history on the primary. Records
+// streamed under one identity extend each other; any change means the
+// primary's model was replaced by something not derivable from the journal.
+type Identity struct {
+	Epoch uint64
+	Gen   uint64
+}
+
+func (id Identity) String() string { return fmt.Sprintf("epoch %d gen %d", id.Epoch, id.Gen) }
+
+// Bootstrap is the result of a bootstrap call: the primary's model and the
+// journal position it covers.
+type Bootstrap struct {
+	Model    *core.Model
+	Identity Identity
+	// Covered is the highest journal sequence already reflected in Model;
+	// tailing starts after it.
+	Covered uint64
+}
+
+// Chunk is one successful poll: zero or more verbatim journal record frames
+// plus the primary's position when it answered.
+type Chunk struct {
+	// Frames holds consecutive record frames in the journal's on-disk
+	// framing, starting at the polled sequence + 1; empty when the follower
+	// was caught up for the whole wait window.
+	Frames   []byte
+	Identity Identity
+	// BaseSeq and LastSeq are the primary journal's bounds at response
+	// time; applied == LastSeq means caught up.
+	BaseSeq uint64
+	LastSeq uint64
+}
+
+// Client speaks the replication protocol to one primary.
+type Client struct {
+	// Primary is the primary's base URL, e.g. "http://10.0.0.1:8080".
+	Primary string
+	// Token is the bearer token sent on every request (the primary's
+	// -auth-token). Empty sends no Authorization header.
+	Token string
+	// HTTP is the underlying client; nil uses a dedicated client with no
+	// overall timeout (long-polls outlive any sane global timeout; cancel
+	// via context instead).
+	HTTP *http.Client
+	// PollWait is the long-poll window asked of the primary (0 =
+	// DefaultPollWait).
+	PollWait time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values) (*http.Response, error) {
+	u := strings.TrimRight(c.Primary, "/") + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return c.httpClient().Do(req)
+}
+
+// header64 parses a decimal uint64 response header.
+func header64(resp *http.Response, name string) (uint64, error) {
+	v := resp.Header.Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("replicate: primary response missing %s", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replicate: primary response header %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+// errorBody summarizes a non-200 response for error messages.
+func errorBody(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return resp.Status
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, s)
+}
+
+// Bootstrap fetches the primary's current model and covered sequence.
+func (c *Client) Bootstrap(ctx context.Context) (*Bootstrap, error) {
+	resp, err := c.get(ctx, BootstrapPath, nil)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replicate: bootstrap: primary answered %s", errorBody(resp))
+	}
+	bs := &Bootstrap{}
+	if bs.Identity.Epoch, err = header64(resp, HeaderEpoch); err != nil {
+		return nil, err
+	}
+	if bs.Identity.Gen, err = header64(resp, HeaderGen); err != nil {
+		return nil, err
+	}
+	if bs.Covered, err = header64(resp, HeaderCoveredSeq); err != nil {
+		return nil, err
+	}
+	if bs.Model, err = core.ReadModel(resp.Body); err != nil {
+		return nil, fmt.Errorf("replicate: bootstrap model: %w", err)
+	}
+	return bs, nil
+}
+
+// Poll asks for the records after `after` under the given identity, holding
+// the request open up to the client's poll window when the follower is
+// caught up. A 410 from the primary is returned as ErrOutOfSync.
+func (c *Client) Poll(ctx context.Context, id Identity, after uint64) (*Chunk, error) {
+	wait := c.PollWait
+	if wait <= 0 {
+		wait = DefaultPollWait
+	}
+	q := url.Values{
+		"after": {strconv.FormatUint(after, 10)},
+		"epoch": {strconv.FormatUint(id.Epoch, 10)},
+		"gen":   {strconv.FormatUint(id.Gen, 10)},
+		"wait":  {wait.String()},
+	}
+	resp, err := c.get(ctx, StreamPath, q)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: poll: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, fmt.Errorf("%w (%s)", ErrOutOfSync, errorBody(resp))
+	default:
+		return nil, fmt.Errorf("replicate: poll: primary answered %s", errorBody(resp))
+	}
+	ch := &Chunk{}
+	if ch.Identity.Epoch, err = header64(resp, HeaderEpoch); err != nil {
+		return nil, err
+	}
+	if ch.Identity.Gen, err = header64(resp, HeaderGen); err != nil {
+		return nil, err
+	}
+	if ch.BaseSeq, err = header64(resp, HeaderBaseSeq); err != nil {
+		return nil, err
+	}
+	if ch.LastSeq, err = header64(resp, HeaderLastSeq); err != nil {
+		return nil, err
+	}
+	if ch.Identity != id {
+		// The identity moved between our request and the primary's answer;
+		// the frames (if any) belong to a history we no longer share.
+		return nil, fmt.Errorf("%w (identity changed to %s mid-poll)", ErrOutOfSync, ch.Identity)
+	}
+	if ch.Frames, err = io.ReadAll(resp.Body); err != nil {
+		// A connection dropped mid-body leaves a torn frame at the tail;
+		// the caller applies the intact prefix and re-polls for the rest,
+		// so a partial read is still a usable chunk.
+		if len(ch.Frames) == 0 {
+			return nil, fmt.Errorf("replicate: poll body: %w", err)
+		}
+	}
+	return ch, nil
+}
+
+// Backoff returns the pause before reconnect attempt n (1-based) to the
+// given primary: exponential from 100ms, capped at 5s, with a deterministic
+// ±25% jitter derived from the primary URL and the attempt number — spreads
+// a fleet of followers without drawing global randomness (the repo's
+// seeded-randomness rule).
+func Backoff(primary string, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base := 100 * time.Millisecond << uint(attempt-1)
+	if base > 5*time.Second || base <= 0 {
+		base = 5 * time.Second
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, primary)
+	_, _ = fmt.Fprintf(h, "#%d", attempt)
+	// Map the hash into [-base/4, +base/4).
+	jitter := time.Duration(h.Sum64()%uint64(base/2)) - base/4
+	return base + jitter
+}

@@ -1,0 +1,138 @@
+package replicate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func TestBackoff(t *testing.T) {
+	// Deterministic: the same primary and attempt always pause the same.
+	for attempt := 1; attempt <= 10; attempt++ {
+		a := Backoff("http://primary:8080", attempt)
+		b := Backoff("http://primary:8080", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: %v vs %v", attempt, a, b)
+		}
+	}
+	// Bounded: never more than the cap plus jitter, never non-positive.
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := Backoff("http://primary:8080", attempt)
+		if d <= 0 || d > 5*time.Second+5*time.Second/4 {
+			t.Fatalf("attempt %d: %v out of bounds", attempt, d)
+		}
+	}
+	// Growing (up to the cap): attempt 1 sits well under attempt 5.
+	if Backoff("http://p", 1) >= Backoff("http://p", 5) {
+		t.Fatalf("backoff not growing: %v vs %v", Backoff("http://p", 1), Backoff("http://p", 5))
+	}
+	// Different primaries jitter differently, so a restarted fleet of
+	// followers does not stampede in lockstep.
+	same := 0
+	for attempt := 1; attempt <= 8; attempt++ {
+		if Backoff("http://a", attempt) == Backoff("http://b", attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("two primaries share every backoff; jitter is not keyed")
+	}
+}
+
+// recordingApplier tracks sequences without a real model.
+type recordingApplier struct {
+	applied uint64
+	records int
+}
+
+func (a *recordingApplier) Rebase(*Bootstrap) error { return nil }
+func (a *recordingApplier) Apply(rec store.Record) error {
+	a.applied = rec.Seq
+	a.records++
+	return nil
+}
+func (a *recordingApplier) AppliedSeq() uint64 { return a.applied }
+func (a *recordingApplier) CaughtUp(uint64)    {}
+
+// streamFrames journals a few records and returns their verbatim frames.
+func streamFrames(t *testing.T, n int) []byte {
+	t.Helper()
+	j, err := store.OpenJournal(filepath.Join(t.TempDir(), "obs.ptkj"), 2,
+		store.SyncPolicy{Mode: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < n; i++ {
+		obs := []core.Observation{{Index: []int{i % 5, i % 3}, Value: float64(i)}}
+		if _, err := j.Append(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, _, err := j.StreamChunk(0, uint64(n), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+func TestFollowerApplyTornTail(t *testing.T) {
+	frames := streamFrames(t, 3)
+	f := &Follower{Order: 2, Applier: &recordingApplier{}}
+
+	// A chunk torn mid-record applies the intact prefix and returns cleanly:
+	// the next poll resumes after the last applied record.
+	torn := append([]byte(nil), frames[:len(frames)-4]...)
+	if err := f.apply(&Chunk{Frames: torn}); err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	a := f.Applier.(*recordingApplier)
+	if a.records != 2 || a.applied != 2 {
+		t.Fatalf("applied %d records through seq %d, want 2 through 2", a.records, a.applied)
+	}
+
+	// The re-poll ships the full record the tear interrupted, and the
+	// follower continues seamlessly.
+	var off int
+	for seq := 1; seq <= 2; seq++ {
+		_, n, err := store.DecodeRecord(frames[off:], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := f.apply(&Chunk{Frames: frames[off:]}); err != nil {
+		t.Fatalf("resume after tear: %v", err)
+	}
+	if a.records != 3 || a.applied != 3 {
+		t.Fatalf("applied %d records through seq %d, want 3 through 3", a.records, a.applied)
+	}
+}
+
+func TestFollowerApplyGapAndCorruption(t *testing.T) {
+	frames := streamFrames(t, 3)
+
+	// A sequence gap is fatal: the bytes cannot extend the local state.
+	f := &Follower{Order: 2, Applier: &recordingApplier{applied: 5}}
+	err := f.apply(&Chunk{Frames: frames})
+	if err == nil || !strings.Contains(err.Error(), "stream gap") {
+		t.Fatalf("gap: %v", err)
+	}
+
+	// A corrupt frame (CRC mismatch, not truncation) is fatal too.
+	bad := append([]byte(nil), frames...)
+	bad[len(bad)-1] ^= 0x01
+	f = &Follower{Order: 2, Applier: &recordingApplier{}}
+	err = f.apply(&Chunk{Frames: bad})
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption: %v", err)
+	}
+	// The intact records before the corruption were still applied.
+	if a := f.Applier.(*recordingApplier); a.records != 2 {
+		t.Fatalf("applied %d records before the corrupt frame, want 2", a.records)
+	}
+}

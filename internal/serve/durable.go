@@ -40,11 +40,25 @@ func (s *Server) initDurable() error {
 	if s.dir == nil {
 		return nil
 	}
+	if s.dir.HasFollowerState() {
+		return fmt.Errorf("serve: data dir %s belongs to a replication follower; a primary cannot start over it", s.dir.Path())
+	}
 	m := s.snapshot().model
 	j, err := store.OpenJournal(s.dir.JournalPath(), m.Order(), s.opts.JournalSync)
 	if err != nil {
 		return err
 	}
+	// Replication identity: a fresh epoch every start (a restart may have
+	// lost journal-tail records under a relaxed fsync policy, so followers
+	// must re-bootstrap rather than trust continuity), generation 1 for
+	// this process's first model.
+	epoch, err := s.dir.NextEpoch()
+	if err != nil {
+		j.Close()
+		return err
+	}
+	s.repl.epoch = epoch
+	s.repl.gen.Store(1)
 	if j.Recovered > 0 {
 		log.Printf("serve: journal recovery dropped a torn %d-byte tail (crash mid-write); every intact record replays", j.Recovered)
 	}
@@ -96,6 +110,9 @@ func (s *Server) initDurable() error {
 	// RefitAfter trigger like the live traffic they were.
 	s.online.pending = obs
 	s.durLastCovered = covered
+	// Every surviving record is now reflected in the fitter (covered ones
+	// via the training snapshot's model, the rest via the replay above).
+	s.repl.appliedSeq.Store(j.LastSeq())
 	if folds > 0 {
 		s.install(f.Snapshot())
 	}
@@ -126,20 +143,22 @@ func (s *Server) initDurable() error {
 	return nil
 }
 
-// journalAppend records one accepted batch; a nil journal (no data dir) is a
-// no-op. The caller holds whichever lock currently admits observes, so
-// appends are totally ordered exactly as they are applied.
-func (s *Server) journalAppend(obs []core.Observation) error {
+// journalAppend records one accepted batch and returns its assigned
+// sequence; a nil journal (no data dir) is a no-op returning 0. The caller
+// holds whichever lock currently admits observes, so appends are totally
+// ordered exactly as they are applied.
+func (s *Server) journalAppend(obs []core.Observation) (uint64, error) {
 	if s.journal == nil {
-		return nil
+		return 0, nil
 	}
-	if _, err := s.journal.Append(obs); err != nil {
-		return fmt.Errorf("%w: journal: %v", errObserveInternal, err)
+	seq, err := s.journal.Append(obs)
+	if err != nil {
+		return 0, fmt.Errorf("%w: journal: %v", errObserveInternal, err)
 	}
 	s.met.journalAppends.Add(1)
 	// First uncovered record since the last compaction: start its age clock.
 	s.oldestUncovered.CompareAndSwap(0, s.now().UnixNano())
-	return nil
+	return seq, nil
 }
 
 // compact persists the post-refit state — model first, then the training
@@ -308,6 +327,10 @@ func (s *Server) rebaseDurable(m *core.Model, gen int64) {
 	err := s.journal.Reset()
 	// The reset discarded every journaled record; nothing uncovered remains
 	// to age (the caller holds online.mu, so no observe can append yet).
+	// The applied sequence holds at the journal tail — sequences continue
+	// across the rotation, and followers re-bootstrap on the generation
+	// bump regardless.
+	s.repl.appliedSeq.Store(s.journal.LastSeq())
 	s.oldestUncovered.Store(0)
 	if err == nil {
 		err = s.dir.RemoveTrainingTensor()

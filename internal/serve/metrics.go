@@ -12,7 +12,7 @@ import (
 )
 
 // endpoints is the fixed label set of the per-endpoint counters.
-var endpoints = []string{"predict", "predict-batch", "recommend", "observe", "reload"}
+var endpoints = []string{"predict", "predict-batch", "recommend", "observe", "reload", "journal"}
 
 // metrics holds the server's counters. The zero value is ready to use; the
 // per-endpoint maps are built once on first touch and read-only afterwards,
@@ -39,6 +39,16 @@ type metrics struct {
 	compactionErrors   atomic.Int64 // compactions that failed (journal kept)
 	rebaseErrors       atomic.Int64 // reload re-bases that failed to persist
 	authFailures       atomic.Int64 // mutating requests rejected with 401
+
+	// Replication: the primary's stream service and the follower's
+	// tailing progress (see replication.go).
+	streamClients     atomic.Int64 // journal-stream polls currently being served
+	streamRecords     atomic.Int64 // journal records shipped to followers
+	streamBytes       atomic.Int64 // journal frame bytes shipped to followers
+	bootstrapsServed  atomic.Int64 // bootstrap models shipped to followers
+	replicaBootstraps atomic.Int64 // times this follower (re-)bootstrapped
+	replicaRecords    atomic.Int64 // journal records this follower applied
+	writesRejected    atomic.Int64 // writes refused because this is a replica
 
 	holdoutSet  atomic.Bool   // a held-out set is configured and scored
 	holdoutRMSE atomic.Uint64 // float64 bits of the latest held-out RMSE
@@ -80,8 +90,9 @@ func (m *metrics) errors(endpoint string) *atomic.Int64 {
 
 // handler renders the counters in the Prometheus text exposition format,
 // plus gauges describing the current snapshot. depths samples the coalescer
-// shards' queue lengths (nil when coalescing is disabled).
-func (m *metrics) handler(snap func() *snapshot, depths func() []int) http.HandlerFunc {
+// shards' queue lengths (nil when coalescing is disabled); repl samples the
+// replication role and progress.
+func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func() replSample) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
@@ -138,6 +149,22 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int) http.Handl
 		e.Counter("ptucker_journal_compaction_errors_total", "Compactions that failed (journal kept for replay).", m.compactionErrors.Load())
 		e.Counter("ptucker_rebase_errors_total", "Reload re-bases that failed to persist (data dir may restart pre-reload).", m.rebaseErrors.Load())
 		e.Counter("ptucker_auth_failures_total", "Mutating requests rejected for a missing or invalid bearer token.", m.authFailures.Load())
+		if rs := repl(); rs.role != "" {
+			switch rs.role {
+			case "primary":
+				e.GaugeInt("ptucker_journal_stream_clients", "Journal-stream polls currently held open by followers.", rs.streamClients)
+				e.Counter("ptucker_journal_stream_records_total", "Journal records shipped to followers.", m.streamRecords.Load())
+				e.Counter("ptucker_journal_stream_bytes_total", "Journal frame bytes shipped to followers.", m.streamBytes.Load())
+				e.Counter("ptucker_journal_bootstraps_served_total", "Bootstrap models shipped to followers.", m.bootstrapsServed.Load())
+				e.GaugeInt("ptucker_primary_applied_seq", "Highest journal sequence applied to the primary's model.", int64(rs.appliedSeq))
+			case "follower":
+				e.Gauge("ptucker_replica_lag_seconds", "Seconds since this replica last applied a record or confirmed being caught up.", rs.lagSeconds)
+				e.GaugeInt("ptucker_replica_applied_seq", "Highest primary journal sequence applied to this replica.", int64(rs.appliedSeq))
+				e.Counter("ptucker_replica_bootstraps_total", "Times this replica bootstrapped (or re-bootstrapped) from its primary.", m.replicaBootstraps.Load())
+				e.Counter("ptucker_replica_records_applied_total", "Primary journal records applied by this replica.", m.replicaRecords.Load())
+				e.Counter("ptucker_replica_writes_rejected_total", "Write requests refused because this process is a read replica.", m.writesRejected.Load())
+			}
+		}
 		if m.holdoutSet.Load() {
 			e.Gauge("ptucker_holdout_rmse", "RMSE of the served model over the held-out set, re-scored after refits and reloads.", math.Float64frombits(m.holdoutRMSE.Load()))
 		}

@@ -50,9 +50,19 @@ type online struct {
 	// and apply identically at drain time (a refit never changes dims).
 	stageMu     sync.Mutex
 	staging     bool
-	staged      [][]core.Observation
+	staged      []stagedBatch
 	stagedDims  []int
 	stagedCount int
+}
+
+// stagedBatch is one journaled-but-not-yet-applied observe batch buffered
+// while a refit owns the fitter. The journal sequence rides along so the
+// replication applied-sequence can advance exactly when the drain applies
+// the batch — the stream never ships records the primary's own model does
+// not yet reflect.
+type stagedBatch struct {
+	seq uint64
+	obs []core.Observation
 }
 
 // --- request/response shapes ---
@@ -165,7 +175,8 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 
 	// Journal before applying: once the batch mutates the fitter it must be
 	// recoverable, so a journal failure rejects the batch untouched.
-	if err := s.journalAppend(obs); err != nil {
+	seq, err := s.journalAppend(obs)
+	if err != nil {
 		return nil, err
 	}
 
@@ -181,6 +192,12 @@ func (s *Server) observe(ctx context.Context, obs []core.Observation) (*observeR
 	// current snapshot — and its file provenance on /healthz — stays put.
 	if len(resp.Folded) > 0 {
 		s.install(f.Snapshot())
+	}
+	// The record is applied; replication may now stream it (the snapshot
+	// store above happens first, still under mu, so a bootstrap capture
+	// always pairs the sequence with a model that reflects it).
+	if seq > 0 {
+		s.repl.advance(seq)
 	}
 
 	o.pending += len(obs)
@@ -258,10 +275,11 @@ func (s *Server) stageObserve(ctx context.Context, obs []core.Observation) (*obs
 	if err != nil {
 		return nil, false, err
 	}
-	if err := s.journalAppend(obs); err != nil {
+	seq, err := s.journalAppend(obs)
+	if err != nil {
 		return nil, false, err
 	}
-	o.staged = append(o.staged, obs)
+	o.staged = append(o.staged, stagedBatch{seq: seq, obs: obs})
 	o.stagedCount += len(obs)
 
 	resp := &observeResponse{Appended: len(plan.appends), Staged: true, Pending: o.stagedCount}
@@ -354,19 +372,23 @@ func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel con
 			break
 		}
 		o.stageMu.Unlock()
-		for _, obs := range batches {
-			plan, perr := planObservations(f.Dims(), obs)
+		for _, b := range batches {
+			plan, perr := planObservations(f.Dims(), b.obs)
 			if perr != nil {
 				s.met.errors("observe").Add(1)
-				continue
-			}
-			resp, aerr := s.applyPlan(f, plan, true)
-			if aerr != nil {
+			} else if resp, aerr := s.applyPlan(f, plan, true); aerr != nil {
 				s.met.errors("observe").Add(1)
-				continue
+			} else {
+				drainedFolds += len(resp.Folded)
+				o.pending += len(b.obs)
 			}
-			drainedFolds += len(resp.Folded)
-			o.pending += len(obs)
+			// The applied sequence advances even past a dropped batch (both
+			// failure arms are unreachable for plans that validated at
+			// staging time): the stream must stay contiguous, and the
+			// generation bump below re-bootstraps followers anyway.
+			if b.seq > 0 {
+				s.repl.appliedSeq.Store(b.seq)
+			}
 		}
 	}
 
@@ -382,6 +404,16 @@ func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel con
 			final = f.Snapshot()
 		}
 		s.install(final)
+	}
+	if refitOK {
+		// The refit result is not derivable from the journal: followers
+		// tailing the old generation must re-bootstrap. (A failed refit
+		// whose drain folded rows is journal-derived — no bump.)
+		s.repl.bumpGen()
+	} else {
+		// The drain advanced the applied sequence under the same identity;
+		// wake stream waiters so caught-up followers fetch it.
+		s.repl.wake()
 	}
 
 	// Capture what compaction needs while observes are quiesced (normal-path

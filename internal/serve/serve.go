@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replicate"
 	"repro/internal/store"
 	"repro/internal/tensor"
 )
@@ -166,9 +167,32 @@ type Options struct {
 	// over it, re-scored after every refit and reload.
 	HoldoutPath string
 	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
-	// on the mutating endpoints (/v1/observe, /v1/reload); requests without
-	// it are answered 401. Read-only endpoints stay open.
+	// on the mutating endpoints (/v1/observe, /v1/reload) and the
+	// replication endpoints (/v1/journal, /v1/journal/bootstrap); requests
+	// without it are answered 401. Read-only endpoints stay open. A
+	// follower sends the same token to its primary on the stream.
 	AuthToken string
+	// Follow turns the server into a read replica of the primary at this
+	// base URL (e.g. "http://primary:8080"): it bootstraps the primary's
+	// model over HTTP, tails the primary's journal stream, and replays
+	// every record through the same plan/apply path — serving
+	// /v1/predict and /v1/recommend bit-identically to a caught-up
+	// primary while rejecting writes (403 with a Location hint). With a
+	// DataDir the follower persists what it applied and resumes from its
+	// local sequence after a restart; without one it re-bootstraps. Empty
+	// runs the normal (primary) mode.
+	Follow string
+	// MaxLag, on a follower, turns /healthz unready (503 "stale") once the
+	// replica has not confirmed being caught up with its primary for this
+	// long — so load balancers eject stale replicas instead of letting
+	// them serve drifted predictions. It must comfortably exceed PollWait
+	// (a caught-up follower only hears from the primary once per poll
+	// window). 0 reports lag without ever going unready.
+	MaxLag time.Duration
+	// PollWait is the long-poll window a follower asks of its primary (how
+	// long an empty poll is held open waiting for fresh records); 0 uses
+	// replicate.DefaultPollWait.
+	PollWait time.Duration
 }
 
 // DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
@@ -240,6 +264,11 @@ type Server struct {
 	// see maybeCompactBySize and compactByAge.
 	compactBusy atomic.Bool
 
+	// repl is the replication state: stream identity and applied-sequence
+	// tracking on a primary, the tailing loop's handles on a follower. See
+	// replication.go.
+	repl replState
+
 	// oldestUncovered is the UnixNano wall-clock time the oldest journal
 	// record not yet covered by a compaction was appended (0 = journal fully
 	// covered). Appends arm it (CAS from 0), compactions and re-bases clear
@@ -275,6 +304,21 @@ func New(opts Options) (*Server, error) {
 		s.timeout = DefaultTimeout
 	case opts.Timeout > 0:
 		s.timeout = opts.Timeout
+	}
+	s.repl.initNotify()
+
+	// Follower mode replaces the whole model-resolution and durability
+	// startup below: the model comes from the primary (or the local replica
+	// state), and the only journal is the local copy of the primary's.
+	if opts.Follow != "" {
+		if err := s.initFollower(); err != nil {
+			return nil, err
+		}
+		if opts.MaxBatch > 1 {
+			s.coal = newCoalescer(opts.MaxBatch, opts.Shards, s.snapshot, &s.met)
+			s.coal.start()
+		}
+		return s, nil
 	}
 
 	// Resolve the durable state first: a data directory with a persisted
@@ -411,6 +455,9 @@ func (s *Server) reload(path string) (*snapshot, error) {
 	o.fitter = nil
 	o.pending = 0
 	o.gen++
+	// The reloaded model is not derivable from the journal: followers
+	// tailing the old generation must re-bootstrap.
+	s.repl.bumpGen()
 	if o.refitCancel != nil {
 		// Abort an in-flight refit's compute (it runs on the abandoned
 		// fitter and its result would be discarded anyway).
@@ -438,6 +485,15 @@ func (s *Server) Close() {
 	if s.coal != nil {
 		s.coal.stop()
 	}
+	if f := s.repl.fol; f != nil {
+		// The tailing loop exits on the cancelled lifetime context; only
+		// then is its local journal safe to close (the loop is its only
+		// writer).
+		<-f.done
+		if f.journal != nil {
+			_ = f.journal.Close()
+		}
+	}
 	if s.journal != nil {
 		// Quiesce observes (and any refit end-phase) before the final flush,
 		// so nothing appends to a closed journal.
@@ -458,14 +514,29 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/predict", s.withTimeout(s.handlePredict))
 	mux.Handle("/v1/predict-batch", s.withTimeout(s.handlePredictBatch))
 	mux.Handle("/v1/recommend", s.withTimeout(s.handleRecommend))
-	mux.Handle("/v1/observe", s.requireAuth(s.withTimeout(s.handleObserve)))
-	mux.Handle("/v1/reload", s.requireAuth(s.withTimeout(s.handleReload)))
+	if s.isFollower() {
+		// A replica's model history belongs to its primary: writes here
+		// would silently diverge, so they are refused with a hint at the
+		// one address that can take them. The journal endpoints are
+		// refused too — replicas do not re-share the stream.
+		mux.Handle("/v1/observe", s.rejectOnFollower())
+		mux.Handle("/v1/reload", s.rejectOnFollower())
+		mux.Handle(replicate.StreamPath, s.rejectOnFollower())
+		mux.Handle(replicate.BootstrapPath, s.rejectOnFollower())
+	} else {
+		mux.Handle("/v1/observe", s.requireAuth(s.withTimeout(s.handleObserve)))
+		mux.Handle("/v1/reload", s.requireAuth(s.withTimeout(s.handleReload)))
+		// The stream endpoint long-polls by design, so it is mounted
+		// without the per-request timeout; its own wait window bounds it.
+		mux.Handle(replicate.StreamPath, s.requireAuth(http.HandlerFunc(s.handleJournalStream)))
+		mux.Handle(replicate.BootstrapPath, s.requireAuth(http.HandlerFunc(s.handleJournalBootstrap)))
+	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	var depths func() []int
 	if s.coal != nil {
 		depths = s.coal.queueDepths
 	}
-	mux.HandleFunc("/metrics", s.met.handler(s.snapshot, depths))
+	mux.HandleFunc("/metrics", s.met.handler(s.snapshot, depths, s.replSample))
 	return mux
 }
 
@@ -511,6 +582,14 @@ type statusResponse struct {
 	Order    int    `json:"order"`
 	Dims     []int  `json:"dims"`
 	LoadedAt string `json:"loaded_at"`
+	// Replication fields. Role is "primary" (replication available) or
+	// "follower"; both sides report the highest journal sequence applied.
+	// A follower names its primary and its staleness: LagSeconds is how
+	// long ago it last confirmed being caught up (or applied a record).
+	Role       string   `json:"role,omitempty"`
+	Primary    string   `json:"primary,omitempty"`
+	AppliedSeq uint64   `json:"applied_seq,omitempty"`
+	LagSeconds *float64 `json:"lag_seconds,omitempty"`
 }
 
 type errorResponse struct {
@@ -612,13 +691,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snapshot()
-	writeJSON(w, http.StatusOK, statusResponse{
+	resp := statusResponse{
 		Status:   "ok",
 		Model:    snap.path,
 		Order:    snap.order,
 		Dims:     snap.dims,
 		LoadedAt: snap.loadedAt.UTC().Format(time.RFC3339Nano),
-	})
+	}
+	status := http.StatusOK
+	switch {
+	case s.isFollower():
+		resp.Role = "follower"
+		resp.Primary = s.opts.Follow
+		resp.AppliedSeq = s.repl.appliedSeq.Load()
+		lag := s.replicaLag().Seconds()
+		resp.LagSeconds = &lag
+		// A stale replica reports unready so load balancers stop routing
+		// reads to predictions the primary has moved past.
+		if s.opts.MaxLag > 0 && lag > s.opts.MaxLag.Seconds() {
+			resp.Status = "stale"
+			status = http.StatusServiceUnavailable
+		}
+		if s.repl.fol.failed.Load() {
+			resp.Status = "replication-failed"
+			status = http.StatusServiceUnavailable
+		}
+	case s.repl.epoch != 0:
+		resp.Role = "primary"
+		resp.AppliedSeq = s.repl.appliedSeq.Load()
+	}
+	writeJSON(w, status, resp)
 }
 
 // --- plumbing ---

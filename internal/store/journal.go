@@ -142,6 +142,24 @@ type Journal struct {
 	Recovered int64
 }
 
+// CreateJournal atomically replaces any file at path with a fresh, empty
+// journal whose sequence numbers start after baseSeq, and opens it. A
+// replication follower uses it to begin a local journal at the primary's
+// covered sequence, so records it tails from the primary keep their primary
+// sequence numbers when appended locally.
+func CreateJournal(path string, order int, baseSeq uint64, policy SyncPolicy) (*Journal, error) {
+	if order <= 0 || order > 255 {
+		return nil, fmt.Errorf("store: journal order %d out of range", order)
+	}
+	if _, err := writeAtomic(path, false, func(f *os.File) error {
+		_, err := f.Write(journalHeader(order, baseSeq))
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("store: create journal: %w", err)
+	}
+	return OpenJournal(path, order, policy)
+}
+
 // OpenJournal opens (creating if necessary) the journal at path for a tensor
 // of the given order. Existing records are scanned: the open validates the
 // header, finds the end of the last intact record, and truncates a torn tail
@@ -399,6 +417,100 @@ func (j *Journal) LastSeq() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.lastSeq
+}
+
+// BaseSeq returns the header base sequence: every surviving record has
+// Seq > BaseSeq. It advances at each compaction (ResetThrough), which is what
+// lets a replication client detect that the records it still needs have been
+// rotated out.
+func (j *Journal) BaseSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.baseSeq
+}
+
+// StreamChunk copies out the verbatim frame bytes (length + CRC + payload,
+// exactly as written) of consecutive records with after < Seq ≤ maxSeq, up to
+// maxBytes (at least one record is returned if any qualifies, even when it
+// alone exceeds maxBytes). It returns the copied frames, the number of
+// records, and the sequence of the last record included (== after when
+// nothing qualified). The journal's own framing is the stream's wire format:
+// a replication follower re-verifies each CRC on receipt, and a response torn
+// mid-frame is detected exactly like a torn journal tail.
+//
+// Serving a chunk scans from the file header (records are rotation-compacted,
+// so the scan is bounded by the journal's compaction policy) and holds the
+// journal lock, ordering it against concurrent appends and rotations.
+func (j *Journal) StreamChunk(after, maxSeq uint64, maxBytes int) (frames []byte, records int, last uint64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, 0, after, ErrJournalClosed
+	}
+	if after < j.baseSeq {
+		return nil, 0, after, fmt.Errorf("%w: records after %d were compacted away (journal base %d)", ErrBadJournal, after, j.baseSeq)
+	}
+	last = after
+	start, end := int64(-1), int64(-1)
+	off := int64(journalHeaderSize)
+	for off < j.off {
+		rec, next, rerr := readRecord(j.f, off, j.off, j.order)
+		if rerr != nil {
+			return nil, 0, after, fmt.Errorf("store: journal stream at offset %d: %w", off, rerr)
+		}
+		if rec.Seq > maxSeq {
+			break
+		}
+		if rec.Seq > after {
+			if start < 0 {
+				start = off
+			}
+			end = next
+			records++
+			last = rec.Seq
+			if int(end-start) >= maxBytes {
+				break
+			}
+		}
+		off = next
+	}
+	if start < 0 {
+		return nil, 0, after, nil
+	}
+	frames = make([]byte, end-start)
+	if _, err := j.f.ReadAt(frames, start); err != nil {
+		return nil, 0, after, fmt.Errorf("store: journal stream: %w", err)
+	}
+	return frames, records, last, nil
+}
+
+// DecodeRecord decodes the first framed record in b, returning it and the
+// number of bytes consumed. An incomplete frame (the buffer ends mid-record —
+// a torn stream tail) returns io.ErrUnexpectedEOF; a frame whose checksum or
+// shape is wrong returns ErrBadJournal. It is the buffer-level counterpart of
+// the journal's on-disk reader, used by replication followers to decode
+// streamed chunks with the same tolerance for torn tails.
+func DecodeRecord(b []byte, order int) (Record, int, error) {
+	rec, next, err := readRecord(bytesReaderAt(b), 0, int64(len(b)), order)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, int(next), nil
+}
+
+// bytesReaderAt adapts a byte slice to io.ReaderAt without the bytes.Reader
+// allocation dance.
+type bytesReaderAt []byte
+
+func (b bytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // Poison makes every subsequent Append fail with err (wrapped), without

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Follower-side durable state. A replication follower persists its model
+// differently from a primary: the model and the journal sequence it covers
+// must commit atomically (they are one fact — "this model reflects records
+// ≤ seq"), or a crash between two files would double-apply or skip records
+// on resume. ReplicaModelFile is therefore a tiny container: a header naming
+// the covered sequence, followed by the model in its ordinary binary format,
+// all written in one atomic rename. The primary does not need this because
+// its covered sequence lives inside the training snapshot, which commits
+// atomically already.
+
+// ReplicaModelFile is the follower's model-plus-covered-seq container inside
+// a data directory.
+const ReplicaModelFile = "replica-model.ptkm"
+
+// replicaMagic opens a ReplicaModelFile.
+const replicaMagic = "PTKR"
+
+const replicaVersion = 1
+
+// ReplicaModelPath returns the follower model container path inside the
+// directory.
+func (d *Dir) ReplicaModelPath() string { return filepath.Join(d.path, ReplicaModelFile) }
+
+// SaveReplicaModel atomically persists m together with the highest journal
+// sequence it reflects.
+func (d *Dir) SaveReplicaModel(m *core.Model, covered uint64) error {
+	var head [16]byte
+	copy(head[0:4], replicaMagic)
+	binary.LittleEndian.PutUint32(head[4:8], replicaVersion)
+	binary.LittleEndian.PutUint64(head[8:16], covered)
+	if _, err := writeAtomic(d.ReplicaModelPath(), false, func(f *os.File) error {
+		if _, err := f.Write(head[:]); err != nil {
+			return err
+		}
+		_, err := m.WriteTo(f)
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: write replica model: %w", err)
+	}
+	return nil
+}
+
+// LoadReplicaModel loads the follower's persisted model and the journal
+// sequence it covers. A missing file returns os.ErrNotExist (wrapped).
+func (d *Dir) LoadReplicaModel() (*core.Model, uint64, error) {
+	f, err := os.Open(d.ReplicaModelPath())
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: open replica model: %w", err)
+	}
+	defer f.Close()
+	var head [16]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, 0, fmt.Errorf("store: replica model header: %w", err)
+	}
+	if string(head[0:4]) != replicaMagic {
+		return nil, 0, fmt.Errorf("store: %s is not a replica model container", d.ReplicaModelPath())
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != replicaVersion {
+		return nil, 0, fmt.Errorf("store: replica model container version %d, want %d", v, replicaVersion)
+	}
+	covered := binary.LittleEndian.Uint64(head[8:16])
+	m, err := core.ReadModel(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: replica model: %w", err)
+	}
+	return m, covered, nil
+}
+
+// HasFollowerState reports whether the directory was last used by a
+// replication follower (a primary refuses to start over it, and vice versa).
+func (d *Dir) HasFollowerState() bool {
+	_, err := os.Stat(filepath.Join(d.path, FollowerFile))
+	return err == nil
+}
+
+// ClearFollowerState removes the follower's commit record, marking any
+// remaining local state as unusable until a bootstrap rewrites it. Called
+// first when a follower re-bootstraps, so a crash mid-bootstrap can never
+// leave a state file endorsing mismatched model/journal artifacts.
+func (d *Dir) ClearFollowerState() error {
+	if err := os.Remove(filepath.Join(d.path, FollowerFile)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCreateJournalBaseSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dims := []int{10, 10}
+	path := filepath.Join(t.TempDir(), "obs.ptkj")
+
+	j, err := CreateJournal(path, 2, 10, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.BaseSeq() != 10 || j.LastSeq() != 10 || j.Len() != 0 {
+		t.Fatalf("fresh journal: base %d last %d len %d", j.BaseSeq(), j.LastSeq(), j.Len())
+	}
+	// Appends continue the primary's numbering from the base.
+	for i := 0; i < 3; i++ {
+		seq, err := j.Append(obsBatch(rng, dims, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(11+i) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, 11+i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen preserves the base and the records.
+	j2, err := OpenJournal(path, 2, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.BaseSeq() != 10 || j2.LastSeq() != 13 || j2.Len() != 3 {
+		t.Fatalf("reopen: base %d last %d len %d", j2.BaseSeq(), j2.LastSeq(), j2.Len())
+	}
+
+	// CreateJournal over an existing journal starts fresh (it is the
+	// follower's re-bootstrap rebase).
+	j3, err := CreateJournal(path, 2, 50, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.BaseSeq() != 50 || j3.Len() != 0 {
+		t.Fatalf("recreate: base %d len %d", j3.BaseSeq(), j3.Len())
+	}
+}
+
+func TestStreamChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := []int{12, 8}
+	path := filepath.Join(t.TempDir(), "obs.ptkj")
+
+	j, err := OpenJournal(path, 2, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var batches [][]int // record sizes, to sanity-check decode
+	for i := 0; i < 6; i++ {
+		b := obsBatch(rng, dims, 1+rng.Intn(4))
+		batches = append(batches, []int{len(b)})
+		if _, err := j.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The full stream from 0 is the file's record region, byte for byte —
+	// the wire format IS the disk format.
+	frames, n, last, err := j.StreamChunk(0, j.LastSeq(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || last != 6 {
+		t.Fatalf("full chunk: %d records, last %d", n, last)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frames, disk[journalHeaderSize:]) {
+		t.Fatal("stream frames differ from the on-disk record region")
+	}
+
+	// A mid-stream chunk starts after the requested sequence and respects
+	// maxSeq.
+	frames, n, last, err = j.StreamChunk(2, 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || last != 4 {
+		t.Fatalf("mid chunk: %d records, last %d", n, last)
+	}
+	// The frames decode to the expected sequences.
+	seq := uint64(3)
+	for len(frames) > 0 {
+		rec, consumed, err := DecodeRecord(frames, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != seq {
+			t.Fatalf("decoded seq %d, want %d", rec.Seq, seq)
+		}
+		seq++
+		frames = frames[consumed:]
+	}
+
+	// A tiny byte budget still ships at least one whole record.
+	frames, n, last, err = j.StreamChunk(0, j.LastSeq(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || last != 1 || len(frames) == 0 {
+		t.Fatalf("budgeted chunk: %d records, last %d, %d bytes", n, last, len(frames))
+	}
+
+	// Asking from below the base (records compacted away) is the
+	// re-bootstrap signal.
+	if err := j.ResetThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := j.StreamChunk(2, j.LastSeq(), 1<<20); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("pre-base chunk: %v, want ErrBadJournal", err)
+	}
+	// From the new base the surviving records still stream.
+	if _, n, last, err = j.StreamChunk(4, j.LastSeq(), 1<<20); err != nil || n != 2 || last != 6 {
+		t.Fatalf("post-compaction chunk: %d records, last %d, err %v", n, last, err)
+	}
+	_ = batches
+}
+
+func TestDecodeRecordTornAndCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dims := []int{9, 9}
+	path := filepath.Join(t.TempDir(), "obs.ptkj")
+
+	j, err := OpenJournal(path, 2, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	want := obsBatch(rng, dims, 3)
+	if _, err := j.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, _, err := j.StreamChunk(0, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, consumed, err := DecodeRecord(frames, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 1 || consumed != len(frames) {
+		t.Fatalf("decode: seq %d consumed %d/%d", rec.Seq, consumed, len(frames))
+	}
+	obsEqual(t, want, rec.Observations)
+
+	// Every strict prefix is a torn tail — io.ErrUnexpectedEOF, never a
+	// corruption error, so a streaming client knows to just re-poll.
+	for cut := 0; cut < len(frames); cut++ {
+		if _, _, err := DecodeRecord(frames[:cut], 2); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// A flipped payload bit fails the CRC — ErrBadJournal.
+	bad := append([]byte(nil), frames...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := DecodeRecord(bad, 2); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("corrupt frame: %v, want ErrBadJournal", err)
+	}
+}
+
+func TestNextEpoch(t *testing.T) {
+	d, err := OpenDir(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		got, err := d.NextEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("epoch %d, want %d", got, want)
+		}
+	}
+	// The epoch survives a "restart" (a fresh Dir over the same path).
+	d2, err := OpenDir(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d2.NextEpoch(); err != nil || got != 4 {
+		t.Fatalf("epoch after reopen: %d, %v", got, err)
+	}
+}
+
+func TestFollowerStateRoundTrip(t *testing.T) {
+	d, err := OpenDir(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasFollowerState() {
+		t.Fatal("fresh dir claims follower state")
+	}
+	if _, ok, err := d.LoadFollowerState(); err != nil || ok {
+		t.Fatalf("fresh dir load: ok=%v err=%v", ok, err)
+	}
+	want := FollowerState{Epoch: 7, Gen: 3}
+	if err := d.SaveFollowerState(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.LoadFollowerState()
+	if err != nil || !ok || got != want {
+		t.Fatalf("load: %+v ok=%v err=%v", got, ok, err)
+	}
+	if !d.HasFollowerState() {
+		t.Fatal("HasFollowerState false after save")
+	}
+	if err := d.ClearFollowerState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ClearFollowerState(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if d.HasFollowerState() {
+		t.Fatal("follower state survives Clear")
+	}
+}
+
+func TestReplicaModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := randomCoord(rng, []int{12, 10, 8}, 300)
+	cfg := core.Defaults([]int{3, 3, 2})
+	cfg.MaxIters = 2
+	cfg.Tol = 0
+	cfg.Seed = 44
+	f := core.NewFitter(cfg)
+	m, err := f.Fit(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenDir(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.LoadReplicaModel(); err == nil {
+		t.Fatal("fresh dir loaded a replica model")
+	}
+	if err := d.SaveReplicaModel(m, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, covered, err := d.LoadReplicaModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 42 {
+		t.Fatalf("covered seq %d, want 42", covered)
+	}
+	// The container commits the model byte-exactly: both serialize
+	// identically.
+	var a, b bytes.Buffer
+	if _, err := m.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("replica model round trip is not byte-identical")
+	}
+
+	// A truncated container is rejected, not half-loaded.
+	data, err := os.ReadFile(d.ReplicaModelPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.ReplicaModelPath(), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.LoadReplicaModel(); err == nil {
+		t.Fatal("truncated replica container loaded")
+	}
+}

@@ -25,9 +25,12 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/tensor"
 )
@@ -48,6 +51,12 @@ const (
 	TensorFile = "training.ptkt"
 	// JournalFile is the append-only observation journal.
 	JournalFile = "observations.ptkj"
+	// EpochFile holds the primary's replication epoch counter, bumped at
+	// every startup so followers can detect a restarted primary.
+	EpochFile = "epoch"
+	// FollowerFile holds a follower's record of the primary identity
+	// (epoch + generation) its local state was bootstrapped from.
+	FollowerFile = "follower.json"
 )
 
 // OpenDir opens (creating if necessary) the data directory at path.
@@ -108,4 +117,72 @@ func (d *Dir) RemoveTrainingTensor() error {
 		return err
 	}
 	return nil
+}
+
+// NextEpoch reads the persisted replication epoch, increments it, persists
+// the new value, and returns it. A primary calls it once at startup: any
+// restart — even one that lost journal-tail records under a relaxed sync
+// policy — lands on a new epoch, which forces followers to re-bootstrap
+// rather than silently diverge.
+func (d *Dir) NextEpoch() (uint64, error) {
+	path := filepath.Join(d.path, EpochFile)
+	var epoch uint64
+	if b, err := os.ReadFile(path); err == nil {
+		v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+		if perr != nil {
+			return 0, fmt.Errorf("store: epoch file %s: %w", path, perr)
+		}
+		epoch = v
+	} else if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("store: epoch file: %w", err)
+	}
+	epoch++
+	if _, err := writeAtomic(path, false, func(f *os.File) error {
+		_, err := fmt.Fprintf(f, "%d\n", epoch)
+		return err
+	}); err != nil {
+		return 0, fmt.Errorf("store: write epoch: %w", err)
+	}
+	return epoch, nil
+}
+
+// FollowerState records which primary identity a follower's local state
+// (model + journal) was derived from. On restart the follower compares it
+// against the live primary: a mismatch means the local state is from a
+// different history and must be discarded by re-bootstrapping.
+type FollowerState struct {
+	Epoch uint64 `json:"epoch"`
+	Gen   uint64 `json:"gen"`
+}
+
+// SaveFollowerState atomically persists the follower's primary-identity
+// record.
+func (d *Dir) SaveFollowerState(st FollowerState) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("store: encode follower state: %w", err)
+	}
+	if _, err := writeAtomic(filepath.Join(d.path, FollowerFile), false, func(f *os.File) error {
+		_, err := f.Write(append(b, '\n'))
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: write follower state: %w", err)
+	}
+	return nil
+}
+
+// LoadFollowerState reads the persisted primary-identity record; ok is false
+// when none has been written (a fresh follower data dir).
+func (d *Dir) LoadFollowerState() (st FollowerState, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(d.path, FollowerFile))
+	if os.IsNotExist(err) {
+		return FollowerState{}, false, nil
+	}
+	if err != nil {
+		return FollowerState{}, false, fmt.Errorf("store: read follower state: %w", err)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return FollowerState{}, false, fmt.Errorf("store: decode follower state: %w", err)
+	}
+	return st, true, nil
 }

@@ -2,7 +2,10 @@
 // a fixed number of connections each issue one request at a time — predict,
 // predict-batch, recommend, or observe, in a configurable ratio — for a
 // fixed duration, and the run is summarized as JSON: sustained QPS plus
-// p50/p95/p99 latency per operation.
+// p50/p95/p99 latency, a full latency histogram (the serve layer's
+// exponential duration buckets, in milliseconds), and the server-echoed
+// X-Ptucker-Request-Id of the slowest request per operation — paste that ID
+// into the server's log search to see the slow request's access-log line.
 //
 // Closed-loop means throughput is what the server actually sustains with
 // -conns concurrent clients (each waits for its answer before sending the
@@ -43,6 +46,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // config is one load-generation run, separated from flag parsing so tests
@@ -74,6 +80,37 @@ type opReport struct {
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	// SlowestRequestID is the server-echoed X-Ptucker-Request-Id of the
+	// slowest successful request, correlating the report's MaxMs with the
+	// server's own access-log line for that request.
+	SlowestRequestID string `json:"slowest_request_id,omitempty"`
+	// Histogram is the full latency distribution over the serve layer's
+	// exponential duration buckets.
+	Histogram *histReport `json:"histogram,omitempty"`
+}
+
+// histReport is a latency histogram: Counts[i] holds the requests with
+// latency ≤ BoundsMs[i] (and > the previous bound — non-cumulative, unlike
+// Prometheus exposition); the final extra element counts overflows past the
+// last bound.
+type histReport struct {
+	BoundsMs []float64 `json:"bounds_ms"`
+	Counts   []uint64  `json:"counts"`
+}
+
+// histogramOf buckets a latency series (nanoseconds) into the same
+// exponential bounds the server's request-duration histograms use.
+func histogramOf(latsNs []int64) *histReport {
+	h := metrics.NewDurationHistogram()
+	for _, ns := range latsNs {
+		h.Observe(float64(ns) / 1e9)
+	}
+	s := h.Snapshot()
+	hr := &histReport{BoundsMs: make([]float64, len(s.Bounds)), Counts: s.Counts}
+	for i, b := range s.Bounds {
+		hr.BoundsMs[i] = b * 1e3
+	}
+	return hr
 }
 
 // targetReport is one server's share of the run: its sustained QPS and
@@ -106,6 +143,8 @@ type connStats struct {
 	count  [][4]int64
 	errors [][4]int64
 	lats   [][4][]int64 // nanoseconds
+	maxLat [][4]int64   // slowest successful request, nanoseconds
+	maxID  [][4]string  // its server-echoed request ID
 }
 
 func newConnStats(targets int) *connStats {
@@ -113,6 +152,8 @@ func newConnStats(targets int) *connStats {
 		count:  make([][4]int64, targets),
 		errors: make([][4]int64, targets),
 		lats:   make([][4][]int64, targets),
+		maxLat: make([][4]int64, targets),
+		maxID:  make([][4]string, targets),
 	}
 }
 
@@ -267,14 +308,19 @@ func run(cfg config) (*report, error) {
 					token = cfg.Token
 				}
 				t0 := time.Now()
-				ok := post(client, targets[ti]+path, body, token)
+				ok, reqID := post(client, targets[ti]+path, body, token)
 				lat := time.Since(t0)
 				st.count[ti][op]++
 				if !ok {
 					st.errors[ti][op]++
 					continue
 				}
-				st.lats[ti][op] = append(st.lats[ti][op], lat.Nanoseconds())
+				ns := lat.Nanoseconds()
+				st.lats[ti][op] = append(st.lats[ti][op], ns)
+				if ns > st.maxLat[ti][op] {
+					st.maxLat[ti][op] = ns
+					st.maxID[ti][op] = reqID
+				}
 			}
 		}(c, st)
 	}
@@ -296,10 +342,15 @@ func run(cfg config) (*report, error) {
 		for i, name := range opNames {
 			var merged []int64
 			op := &opReport{}
+			var slowest int64
 			for _, st := range stats {
 				op.Count += st.count[ti][i]
 				op.Errors += st.errors[ti][i]
 				merged = append(merged, st.lats[ti][i]...)
+				if st.maxLat[ti][i] > slowest {
+					slowest = st.maxLat[ti][i]
+					op.SlowestRequestID = st.maxID[ti][i]
+				}
 			}
 			if op.Count == 0 {
 				continue
@@ -311,6 +362,7 @@ func run(cfg config) (*report, error) {
 			if n := len(merged); n > 0 {
 				op.MaxMs = float64(merged[n-1]) / 1e6
 			}
+			op.Histogram = histogramOf(merged)
 			tr.Ops[name] = op
 			tr.Requests += op.Count
 			tr.Errors += op.Errors
@@ -331,6 +383,14 @@ func run(cfg config) (*report, error) {
 			agg, ok := rep.Ops[name]
 			if !ok {
 				copyOp := *op
+				if op.Histogram != nil {
+					// Deep-copy the histogram: the aggregate keeps summing
+					// into it and must not corrupt the per-target report.
+					copyOp.Histogram = &histReport{
+						BoundsMs: op.Histogram.BoundsMs,
+						Counts:   append([]uint64(nil), op.Histogram.Counts...),
+					}
+				}
 				rep.Ops[name] = &copyOp
 				continue
 			}
@@ -340,8 +400,16 @@ func run(cfg config) (*report, error) {
 			agg.Errors += op.Errors
 			agg.P50Ms = maxf(agg.P50Ms, op.P50Ms)
 			agg.P95Ms = maxf(agg.P95Ms, op.P95Ms)
+			if op.MaxMs > agg.MaxMs {
+				agg.SlowestRequestID = op.SlowestRequestID
+			}
 			agg.P99Ms = maxf(agg.P99Ms, op.P99Ms)
 			agg.MaxMs = maxf(agg.MaxMs, op.MaxMs)
+			if agg.Histogram != nil && op.Histogram != nil {
+				for bi, c := range op.Histogram.Counts {
+					agg.Histogram.Counts[bi] += c
+				}
+			}
 		}
 	}
 	if rep.DurationSec > 0 {
@@ -428,12 +496,13 @@ func (g *requestGen) next(op int) (string, []byte) {
 	}
 }
 
-// post issues one request and reports success. The body is drained so the
-// transport can reuse the connection — essential for closed-loop throughput.
-func post(client *http.Client, url string, body []byte, token string) bool {
+// post issues one request and reports success plus the server-echoed
+// request ID. The body is drained so the transport can reuse the connection
+// — essential for closed-loop throughput.
+func post(client *http.Client, url string, body []byte, token string) (bool, string) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return false
+		return false, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if token != "" {
@@ -441,11 +510,11 @@ func post(client *http.Client, url string, body []byte, token string) bool {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return false, ""
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode == http.StatusOK, resp.Header.Get(obs.RequestIDHeader)
 }
 
 // parseReplicas splits a comma-separated -replicas list into base URLs.

@@ -2,12 +2,14 @@ package main
 
 import (
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -33,6 +35,31 @@ func tinyModel(t testing.TB) *core.Model {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// scrapeMetrics fetches base/metrics, requires the exposition to parse
+// clean (the parser enforces naming and histogram invariants), and requires
+// every named family to be present with the expected count recorded.
+func scrapeMetrics(t *testing.T, base string, wantFamilies ...string) map[string]*metrics.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s/metrics: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape %s/metrics: status %d", base, resp.StatusCode)
+	}
+	fams, err := metrics.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape %s/metrics does not parse: %v", base, err)
+	}
+	for _, name := range wantFamilies {
+		if fams[name] == nil {
+			t.Errorf("scrape %s/metrics: family %s missing", base, name)
+		}
+	}
+	return fams
 }
 
 func TestParseMix(t *testing.T) {
@@ -110,7 +137,8 @@ func TestLoadgenSmoke(t *testing.T) {
 	if rep.QPS <= 0 {
 		t.Fatalf("QPS = %v, want > 0", rep.QPS)
 	}
-	// Every op in the mix must have been exercised and summarized.
+	// Every op in the mix must have been exercised and summarized, with a
+	// full latency histogram and the slowest request's correlation ID.
 	for _, name := range []string{"predict", "batch", "recommend"} {
 		op, ok := rep.Ops[name]
 		if !ok || op.Count == 0 {
@@ -119,7 +147,29 @@ func TestLoadgenSmoke(t *testing.T) {
 		if op.P99Ms < op.P50Ms {
 			t.Fatalf("op %q: p99 %vms < p50 %vms", name, op.P99Ms, op.P50Ms)
 		}
+		if op.Histogram == nil || len(op.Histogram.Counts) != len(op.Histogram.BoundsMs)+1 {
+			t.Fatalf("op %q: malformed histogram %+v", name, op.Histogram)
+		}
+		var total uint64
+		for _, c := range op.Histogram.Counts {
+			total += c
+		}
+		if total != uint64(op.Count) {
+			t.Fatalf("op %q: histogram counts sum to %d, want %d", name, total, op.Count)
+		}
+		if op.SlowestRequestID == "" {
+			t.Fatalf("op %q: no slowest_request_id recorded (server should echo %d requests' IDs)", name, op.Count)
+		}
 	}
+	// The server side of the same story: /metrics must parse clean and carry
+	// the per-endpoint duration, coalescer, and runtime histogram families.
+	scrapeMetrics(t, ts.URL,
+		"ptucker_request_duration_seconds",
+		"ptucker_coalescer_flush_size",
+		"ptucker_coalescer_flush_duration_seconds",
+		"ptucker_refit_state",
+		"ptucker_goroutines",
+		"ptucker_gc_pause_seconds_total")
 	t.Logf("loadgen smoke: %d requests in %.1fs → %.0f QPS (predict p99 %.2fms)",
 		rep.Requests, rep.DurationSec, rep.QPS, rep.Ops["predict"].P99Ms)
 }
@@ -214,6 +264,18 @@ func TestReplicationSmoke(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+
+	// Both sides' /metrics must parse clean: the durable primary carries the
+	// journal latency families, and the caught-up follower (it has applied
+	// records by now) carries the apply-latency histogram.
+	scrapeMetrics(t, pts.URL,
+		"ptucker_request_duration_seconds",
+		"ptucker_coalescer_flush_size",
+		"ptucker_journal_append_duration_seconds",
+		"ptucker_journal_fsync_duration_seconds")
+	scrapeMetrics(t, fts.URL,
+		"ptucker_request_duration_seconds",
+		"ptucker_replica_apply_duration_seconds")
 	t.Logf("replication smoke: %d requests → %.0f QPS across 2 targets, follower caught up at seq %d",
 		rep.Requests, rep.QPS, follower.AppliedSeq())
 }

@@ -33,6 +33,16 @@
 // request is bounded by -timeout (503). SIGINT/SIGTERM drain the listener
 // gracefully before exiting.
 //
+// Observability: structured logs go to stderr (-log-format text|json,
+// -log-level debug|info|warn|error); every request carries an
+// X-Ptucker-Request-Id correlation header (caller-supplied or generated)
+// echoed on the response and logged on the access line; -slow-request D
+// escalates requests slower than D to warn level; -pprof mounts
+// net/http/pprof under /debug/pprof/, guarded by -auth-token when set.
+// /metrics exposes per-endpoint latency histograms, coalescer flush
+// histograms, journal fsync/append latency, refit state gauges, and runtime
+// gauges — see the README's Observability section for the full reference.
+//
 // With -follow the process runs as a read replica instead: it bootstraps
 // its model from the primary at the given URL, tails the primary's journal
 // stream (GET /v1/journal), and replays every observation through the same
@@ -62,13 +72,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -93,6 +104,10 @@ func main() {
 		authToken   = flag.String("auth-token", "", "bearer token required on mutating and replication endpoints; empty leaves them open (a follower sends it to its primary)")
 		follow      = flag.String("follow", "", "run as a read replica of the primary at this base URL (bootstraps the model from it, tails its journal, rejects writes); excludes -model")
 		maxLag      = flag.Duration("max-lag", 0, "follower /healthz goes 503 once the replica has not confirmed being caught up for this long (0 reports lag but stays ready; needs -follow)")
+		logFormat   = flag.String("log-format", "text", "structured log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (access-log lines are debug)")
+		slowReq     = flag.Duration("slow-request", 0, "log requests slower than this at warn level with full detail (0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (guarded by -auth-token when set)")
 	)
 	flag.Parse()
 	if *follow == "" && *model == "" {
@@ -105,6 +120,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ptucker-serve: -journal-sync: %v\n", err)
 		os.Exit(2)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptucker-serve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *compactB > 0 && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "ptucker-serve: -compact-bytes needs -data-dir")
@@ -153,12 +174,16 @@ func main() {
 		JournalSync:  syncPolicy,
 		HoldoutPath:  *holdout,
 		AuthToken:    *authToken,
+		Logger:       logger,
+		SlowRequest:  *slowReq,
+		Pprof:        *pprofOn,
 	})
 	if err != nil {
-		log.Fatalf("ptucker-serve: %v", err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
-		log.Printf("ptucker-serve: durable data dir %s (journal sync %v)", *dataDir, syncPolicy.Mode)
+		logger.Info("durable data dir open", "dir", *dataDir, "journal_sync", syncPolicy.Mode.String())
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -170,10 +195,10 @@ func main() {
 	go func() {
 		for range hup {
 			if err := s.Reload(""); err != nil {
-				log.Printf("ptucker-serve: SIGHUP reload failed: %v (still serving the old model)", err)
+				logger.Warn("SIGHUP reload failed", "error", err, "detail", "still serving the old model")
 				continue
 			}
-			log.Printf("ptucker-serve: SIGHUP reloaded %s", *model)
+			logger.Info("SIGHUP reloaded model", "model", *model)
 		}
 	}()
 
@@ -185,10 +210,10 @@ func main() {
 	if *watch > 0 {
 		go func() {
 			if err := s.WatchModel(ctx, *watch); err != nil && ctx.Err() == nil {
-				log.Printf("ptucker-serve: model watcher stopped: %v", err)
+				logger.Error("model watcher stopped", "error", err)
 			}
 		}()
-		log.Printf("ptucker-serve: watching %s every %v", *model, *watch)
+		logger.Info("watching model file", "model", *model, "interval", *watch)
 	}
 
 	shutdownDone := make(chan struct{})
@@ -196,11 +221,11 @@ func main() {
 		defer close(shutdownDone)
 		<-ctx.Done()
 		stop() // restore default signal handling: a second signal is fatal
-		log.Printf("ptucker-serve: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("ptucker-serve: shutdown: %v", err)
+			logger.Warn("shutdown", "error", err)
 		}
 	}()
 
@@ -208,16 +233,17 @@ func main() {
 	if *follow != "" {
 		source = "replica of " + *follow
 	}
-	log.Printf("ptucker-serve: serving %s on %s (workers=%d, max-batch=%d, shards=%d)",
-		source, *addr, *workers, *maxBatch, s.Shards())
+	logger.Info("serving", "source", source, "addr", *addr,
+		"workers", *workers, "max_batch", *maxBatch, "shards", s.Shards(), "pprof", *pprofOn)
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ptucker-serve: %v", err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	}
 	// ListenAndServe returns the moment Shutdown begins; wait for the drain
 	// to finish, then stop the coalescer — no handler is mid-submit when
 	// queued work is failed with ErrServerClosed.
 	<-shutdownDone
 	s.Close()
-	log.Printf("ptucker-serve: bye")
+	logger.Info("bye")
 }

@@ -1,11 +1,17 @@
 // Package metricnames enforces the metric naming contract at every
 // registration point: any metric emitted through metrics.Expo (Counter,
-// Gauge, GaugeInt, CounterVec, GaugeIntVec) must
+// CounterFloat, Gauge, GaugeInt, CounterVec, GaugeIntVec, Histogram,
+// HistogramVec) must
 //
 //   - have a constant name matching ^ptucker_[a-z0-9_]+$ — dashboards key
 //     on the prefix, and a name built at runtime cannot be audited;
 //   - end in _total exactly when it is a counter (Prometheus convention:
 //     counters count, gauges measure);
+//   - never end in _bucket, _sum, or _count — the histogram exposition
+//     appends those suffixes to its own series, so a user-supplied name
+//     carrying one would collide with (or masquerade as) histogram output;
+//   - end in a unit suffix (_seconds, _bytes, or _size) when it is a
+//     histogram, so the bucket bounds' unit is readable from the name;
 //   - carry a non-empty constant help string;
 //   - use a snake_case label name on the Vec variants.
 package metricnames
@@ -24,7 +30,7 @@ import (
 // used, in any package.
 var Analyzer = &analysis.Analyzer{
 	Name: "metricnames",
-	Doc:  "requires metrics registered through metrics.Expo to use constant ptucker_-prefixed snake_case names, with _total reserved for counters",
+	Doc:  "requires metrics registered through metrics.Expo to use constant ptucker_-prefixed snake_case names, with _total reserved for counters, _bucket/_sum/_count reserved for histogram exposition, and unit suffixes on histograms",
 	Run:  run,
 }
 
@@ -35,13 +41,48 @@ var (
 	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 )
 
-// methods maps Expo method name -> whether it emits a counter.
-var methods = map[string]bool{
-	"Counter":     true,
-	"CounterVec":  true,
-	"Gauge":       false,
-	"GaugeInt":    false,
-	"GaugeIntVec": false,
+// methodKind classifies one Expo registration method.
+type methodKind struct {
+	counter   bool // emits a counter: name must end _total
+	histogram bool // emits a histogram: name must end in a unit suffix
+}
+
+// methods maps Expo method name -> its metric kind.
+var methods = map[string]methodKind{
+	"Counter":      {counter: true},
+	"CounterFloat": {counter: true},
+	"CounterVec":   {counter: true},
+	"Gauge":        {},
+	"GaugeInt":     {},
+	"GaugeIntVec":  {},
+	"Histogram":    {histogram: true},
+	"HistogramVec": {histogram: true},
+}
+
+// reservedSuffixes are appended by the histogram exposition to its own
+// series; no user-supplied name may end in one.
+var reservedSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// histUnitSuffixes are the unit suffixes a histogram name must end in
+// (matching the contract documented in package metrics).
+var histUnitSuffixes = []string{"_seconds", "_bytes", "_size"}
+
+func reservedSuffix(name string) string {
+	for _, s := range reservedSuffixes {
+		if strings.HasSuffix(name, s) {
+			return s
+		}
+	}
+	return ""
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range histUnitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *analysis.Pass) error {
@@ -54,7 +95,7 @@ func run(pass *analysis.Pass) error {
 		if !ok {
 			return true
 		}
-		isCounter, ok := methods[sel.Sel.Name]
+		kind, ok := methods[sel.Sel.Name]
 		if !ok || !isExpoMethod(pass, sel) || len(call.Args) < 2 {
 			return true
 		}
@@ -68,10 +109,16 @@ func run(pass *analysis.Pass) error {
 		case !nameRE.MatchString(name):
 			pass.Reportf(call.Args[0].Pos(),
 				"metric name %q does not match ^ptucker_[a-z0-9_]+$", name)
-		case isCounter && !strings.HasSuffix(name, "_total"):
+		case reservedSuffix(name) != "":
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name %q ends in %s, which is reserved for histogram exposition series", name, reservedSuffix(name))
+		case kind.counter && !strings.HasSuffix(name, "_total"):
 			pass.Reportf(call.Args[0].Pos(),
 				"counter %q must end in _total", name)
-		case !isCounter && strings.HasSuffix(name, "_total"):
+		case kind.histogram && !hasUnitSuffix(name):
+			pass.Reportf(call.Args[0].Pos(),
+				"histogram %q must end in a unit suffix (_seconds, _bytes, or _size)", name)
+		case !kind.counter && strings.HasSuffix(name, "_total"):
 			pass.Reportf(call.Args[0].Pos(),
 				"gauge %q must not end in _total (_total is reserved for counters)", name)
 		}

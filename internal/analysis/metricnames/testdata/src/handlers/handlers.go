@@ -21,15 +21,25 @@ func emit(sample func(string, int64)) {
 	sample("predict", requestCount)
 }
 
+func emitHist(sample func(string, *metrics.Histogram)) {
+	sample("predict", metrics.NewDurationHistogram())
+}
+
 // WriteMetrics exercises every rule.
 func WriteMetrics(w io.Writer, served int64, rmse float64) {
 	e := metrics.NewExpo(w)
+	h := metrics.NewDurationHistogram()
 
 	// Conforming registrations: no findings.
 	e.Counter("ptucker_requests_total", "Requests served.", served)
 	e.Gauge("ptucker_holdout_rmse", "Holdout RMSE.", rmse)
 	e.GaugeInt("ptucker_model_order", "Tensor order.", 3)
 	e.CounterVec("ptucker_hits_total", "Hits per endpoint.", "endpoint", emit)
+	e.CounterFloat("ptucker_gc_pause_seconds_total", "GC pause seconds.", rmse)
+	e.Histogram("ptucker_fsync_duration_seconds", "Fsync latency.", h)
+	e.Histogram("ptucker_response_bytes", "Response sizes.", h)
+	e.Histogram("ptucker_flush_size", "Batch sizes.", h)
+	e.HistogramVec("ptucker_request_duration_seconds", "Request latency.", "endpoint", emitHist)
 
 	e.Counter("ptucker_requests", "Requests served.", served)         // want `metricnames: counter "ptucker_requests" must end in _total`
 	e.GaugeInt("ptucker_depth_total", "Queue depth.", served)         // want `metricnames: gauge "ptucker_depth_total" must not end in _total`
@@ -38,6 +48,16 @@ func WriteMetrics(w io.Writer, served int64, rmse float64) {
 	e.Counter(runtimeName(), "Mood.", served)                         // want `metricnames: metric name passed to Expo.Counter is not a compile-time constant`
 	e.Gauge("ptucker_rmse", "", rmse)                                 // want `metricnames: metric registered via Expo.Gauge needs a non-empty constant help string`
 	e.GaugeIntVec("ptucker_depth", "Depth per shard.", "Shard", emit) // want `metricnames: label name passed to Expo.GaugeIntVec must be a constant snake_case identifier`
+
+	e.CounterFloat("ptucker_gc_pause_seconds", "GC pause seconds.", rmse)       // want `metricnames: counter "ptucker_gc_pause_seconds" must end in _total`
+	e.Histogram("ptucker_request_duration", "Request latency.", h)              // want `metricnames: histogram "ptucker_request_duration" must end in a unit suffix \(_seconds, _bytes, or _size\)`
+	e.HistogramVec("ptucker_flush_ms", "Flush latency.", "shard", emitHist)     // want `metricnames: histogram "ptucker_flush_ms" must end in a unit suffix \(_seconds, _bytes, or _size\)`
+	e.Gauge("ptucker_request_duration_seconds_bucket", "Sneaky.", rmse)         // want `metricnames: metric name "ptucker_request_duration_seconds_bucket" ends in _bucket, which is reserved for histogram exposition series`
+	e.Counter("ptucker_latency_sum", "Sneaky.", served)                         // want `metricnames: metric name "ptucker_latency_sum" ends in _sum, which is reserved for histogram exposition series`
+	e.Histogram("ptucker_latency_count", "Sneaky.", h)                          // want `metricnames: metric name "ptucker_latency_count" ends in _count, which is reserved for histogram exposition series`
+	e.Histogram("ptucker_fsyncs_total", "Fsyncs.", h)                           // want `metricnames: histogram "ptucker_fsyncs_total" must end in a unit suffix \(_seconds, _bytes, or _size\)`
+	e.HistogramVec("ptucker_wait_seconds", "Waits.", "Endpoint Name", emitHist) // want `metricnames: label name passed to Expo.HistogramVec must be a constant snake_case identifier`
+	e.Histogram("ptucker_io_seconds", "", h)                                    // want `metricnames: metric registered via Expo.Histogram needs a non-empty constant help string`
 
 	//ptlint:ignore metricnames legacy dashboard series kept until the Q3 dashboard migration
 	e.Counter("legacy_requests_total", "Legacy series.", served)

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // Expo writes the Prometheus text exposition format (version 0.0.4). It is
@@ -11,7 +12,9 @@ import (
 // one place, which is what lets the metricnames analyzer (internal/analysis/
 // metricnames, run by ptucker-vet) statically enforce the naming contract —
 // names match ^ptucker_[a-z0-9_]+(_total)?$, counters end in _total, gauges
-// do not, and labels are snake_case.
+// do not, labels are snake_case, duration histograms end in a unit suffix
+// (_seconds, _bytes, or _size), and the histogram-series suffixes _bucket/
+// _sum/_count are reserved (Histogram emits them itself).
 //
 // Sample values keep their native width: counters are int64 (an int64
 // counter formatted through float64 would corrupt above 2^53), gauges pick
@@ -63,4 +66,59 @@ func (e *Expo) GaugeIntVec(name, help, label string, emit func(sample func(label
 	emit(func(labelValue string, value int64) {
 		fmt.Fprintf(e.w, "%s{%s=%q} %d\n", name, label, labelValue, value)
 	})
+}
+
+// CounterFloat emits one unlabeled float counter, for monotone quantities
+// that are natively fractional (e.g. cumulative GC pause seconds). Integer
+// counters must use Counter to keep full int64 precision.
+func (e *Expo) CounterFloat(name, help string, value float64) {
+	e.header(name, help, "counter")
+	fmt.Fprintf(e.w, "%s %s\n", name, formatFloat(value))
+}
+
+// Histogram emits one unlabeled histogram: cumulative `_bucket` series per
+// bound plus `le="+Inf"`, then `_sum` and `_count`.
+func (e *Expo) Histogram(name, help string, h *Histogram) {
+	e.header(name, help, "histogram")
+	e.histSeries(name, "", "", h)
+}
+
+// HistogramVec emits one histogram family with a single label dimension;
+// emit is called with a sample function the caller invokes once per label
+// value, in the order series should appear.
+func (e *Expo) HistogramVec(name, help, label string, emit func(sample func(labelValue string, h *Histogram))) {
+	e.header(name, help, "histogram")
+	emit(func(labelValue string, h *Histogram) {
+		e.histSeries(name, label, labelValue, h)
+	})
+}
+
+func (e *Expo) histSeries(name, label, labelValue string, h *Histogram) {
+	s := h.Snapshot()
+	prefix := ""
+	if label != "" {
+		prefix = fmt.Sprintf("%s=%q,", label, labelValue)
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(e.w, "%s_bucket{%sle=%q} %d\n", name, prefix, formatFloat(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(e.w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum)
+	if label != "" {
+		fmt.Fprintf(e.w, "%s_sum{%s=%q} %s\n", name, label, labelValue, formatFloat(s.Sum))
+		fmt.Fprintf(e.w, "%s_count{%s=%q} %d\n", name, label, labelValue, cum)
+	} else {
+		fmt.Fprintf(e.w, "%s_sum %s\n", name, formatFloat(s.Sum))
+		fmt.Fprintf(e.w, "%s_count %d\n", name, cum)
+	}
+}
+
+// formatFloat renders a float with the shortest representation that round-
+// trips, matching how `le` bounds are conventionally written (0.001, not
+// 1e-03, stays as Go chooses — what matters is that bounds are stable and
+// parse back to the same float).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

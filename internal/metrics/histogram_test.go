@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.5} {
+		h.Observe(v)
+	}
+	// Exact boundary lands in its own bucket (le is inclusive).
+	h.Observe(0.01)
+	s := h.Snapshot()
+	want := []uint64{1, 3, 0, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-0.5205) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.5205", s.Sum)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	h.ObserveDuration(time.Second)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 || s.Count != 1 || s.Sum != 1 {
+		t.Fatalf("snapshot after 1s observation: %+v", s)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	b := ExponentialBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	for _, f := range []func(){
+		func() { ExponentialBounds(0, 2, 4) },
+		func() { ExponentialBounds(1, 1, 4) },
+		func() { ExponentialBounds(1, 2, 0) },
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{2, 1}) },
+		func() { NewHistogram([]float64{math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestHistogramConcurrency drives concurrent Observe calls against a
+// concurrent snapshot reader (the exposition path) under -race, then checks
+// the totals reconcile exactly once writers quiesce.
+func TestHistogramConcurrency(t *testing.T) {
+	h := NewDurationHistogram()
+	const goroutines, perG = 8, 10000
+	values := []float64{15e-6, 200e-6, 3e-3, 0.05, 2.5}
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var cum uint64
+			for _, c := range s.Counts {
+				cum += c
+			}
+			if cum != s.Count {
+				t.Error("snapshot count does not equal the sum of its buckets")
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(values[(g+i)%len(values)])
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var wantSum float64
+	for i := 0; i < goroutines*perG; i++ {
+		wantSum += values[i%len(values)]
+	}
+	// The CAS-loop sum is order-dependent floating point; allow rounding.
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want ~%v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramGoldenExposition(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.5} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Histogram("ptucker_test_duration_seconds", "Test latencies.", h)
+	want := `# HELP ptucker_test_duration_seconds Test latencies.
+# TYPE ptucker_test_duration_seconds histogram
+ptucker_test_duration_seconds_bucket{le="0.001"} 1
+ptucker_test_duration_seconds_bucket{le="0.01"} 3
+ptucker_test_duration_seconds_bucket{le="0.1"} 3
+ptucker_test_duration_seconds_bucket{le="+Inf"} 4
+ptucker_test_duration_seconds_sum 0.5105
+ptucker_test_duration_seconds_count 4
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramVecGoldenExposition(t *testing.T) {
+	h0 := NewHistogram([]float64{1, 8})
+	h1 := NewHistogram([]float64{1, 8})
+	h0.Observe(1)
+	h1.Observe(4)
+	h1.Observe(100)
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.HistogramVec("ptucker_test_flush_size", "Flush sizes.", "shard", func(sample func(string, *Histogram)) {
+		sample("0", h0)
+		sample("1", h1)
+	})
+	want := `# HELP ptucker_test_flush_size Flush sizes.
+# TYPE ptucker_test_flush_size histogram
+ptucker_test_flush_size_bucket{shard="0",le="1"} 1
+ptucker_test_flush_size_bucket{shard="0",le="8"} 1
+ptucker_test_flush_size_bucket{shard="0",le="+Inf"} 1
+ptucker_test_flush_size_sum{shard="0"} 1
+ptucker_test_flush_size_count{shard="0"} 1
+ptucker_test_flush_size_bucket{shard="1",le="1"} 0
+ptucker_test_flush_size_bucket{shard="1",le="8"} 1
+ptucker_test_flush_size_bucket{shard="1",le="+Inf"} 2
+ptucker_test_flush_size_sum{shard="1"} 104
+ptucker_test_flush_size_count{shard="1"} 2
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	h := NewDurationHistogram()
+	h.Observe(0.002)
+	h.Observe(7)
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Counter("ptucker_things_total", "Things.", 42)
+	e.Gauge("ptucker_level", "Level.", 0.5)
+	e.CounterFloat("ptucker_pause_seconds_total", "Pause.", 1.25)
+	e.Histogram("ptucker_op_duration_seconds", "Op latency.", h)
+	e.HistogramVec("ptucker_flush_size", "Flush size.", "shard", func(sample func(string, *Histogram)) {
+		hs := NewHistogram([]float64{1, 2})
+		hs.Observe(2)
+		sample("0", hs)
+	})
+	fams, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, sb.String())
+	}
+	for name, kind := range map[string]string{
+		"ptucker_things_total":        "counter",
+		"ptucker_level":               "gauge",
+		"ptucker_pause_seconds_total": "counter",
+		"ptucker_op_duration_seconds": "histogram",
+		"ptucker_flush_size":          "histogram",
+	} {
+		f := fams[name]
+		if f == nil || f.Type != kind {
+			t.Fatalf("family %s: got %+v, want type %s", name, f, kind)
+		}
+		if f.Help == "" || f.Samples == 0 {
+			t.Fatalf("family %s lacks help or samples: %+v", name, f)
+		}
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"counter without _total": "# HELP ptucker_x X.\n# TYPE ptucker_x counter\nptucker_x 1\n",
+		"gauge with _total":      "# HELP ptucker_x_total X.\n# TYPE ptucker_x_total gauge\nptucker_x_total 1\n",
+		"reserved suffix":        "# HELP ptucker_x_count X.\n# TYPE ptucker_x_count gauge\nptucker_x_count 1\n",
+		"bad family name":        "# HELP other_x X.\n# TYPE other_x gauge\nother_x 1\n",
+		"sample before family":   "ptucker_x 1\n",
+		"type without help":      "# TYPE ptucker_x gauge\nptucker_x 1\n",
+		"negative counter":       "# HELP ptucker_x_total X.\n# TYPE ptucker_x_total counter\nptucker_x_total -1\n",
+		"foreign sample":         "# HELP ptucker_x X.\n# TYPE ptucker_x gauge\nptucker_y 1\n",
+		"bad label name":         "# HELP ptucker_x X.\n# TYPE ptucker_x gauge\nptucker_x{BadLabel=\"1\"} 1\n",
+		"non-cumulative buckets": "# HELP ptucker_x X.\n# TYPE ptucker_x histogram\nptucker_x_bucket{le=\"1\"} 5\nptucker_x_bucket{le=\"+Inf\"} 3\nptucker_x_sum 1\nptucker_x_count 3\n",
+		"count mismatch":         "# HELP ptucker_x X.\n# TYPE ptucker_x histogram\nptucker_x_bucket{le=\"1\"} 1\nptucker_x_bucket{le=\"+Inf\"} 2\nptucker_x_sum 1\nptucker_x_count 3\n",
+		"histogram missing sum":  "# HELP ptucker_x X.\n# TYPE ptucker_x histogram\nptucker_x_bucket{le=\"1\"} 1\nptucker_x_bucket{le=\"+Inf\"} 1\nptucker_x_count 1\n",
+		"empty exposition":       "",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+// BenchmarkHistogramRecord is gated by scripts/bench-gate.sh, which asserts
+// 0 allocs/op: the record path must stay allocation-free.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewDurationHistogram()
+	values := [...]float64{15e-6, 200e-6, 3e-3, 0.05, 2.5}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(values[i%len(values)])
+			i++
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Family is one metric family parsed from a text exposition.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", or "histogram"
+	Help    string
+	Samples int // sample lines seen (all series suffixes for histograms)
+}
+
+var (
+	famNameRE   = regexp.MustCompile(`^ptucker_[a-z0-9_]+$`)
+	labelNameRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// histSeries tracks one histogram label-set's series as they stream by, so
+// the cumulative-bucket and _sum/_count invariants can be checked.
+type histSeries struct {
+	lastLe    float64
+	haveLe    bool
+	lastCum   float64
+	inf       float64
+	infSeen   bool
+	sumSeen   bool
+	countSeen bool
+}
+
+// ParseExposition parses a Prometheus text exposition (version 0.0.4) and
+// validates it against the project's metric contract: every sample belongs
+// to a `# HELP`+`# TYPE`-declared family, family names match
+// ^ptucker_[a-z0-9_]+$, counters end in _total and gauges/histograms do
+// not, the _bucket/_sum/_count suffixes appear only as histogram series,
+// histogram buckets are cumulative with a final le="+Inf" equal to _count,
+// and label names are snake_case. It returns the families by name.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	series := make(map[string]*histSeries)
+	var helpName, helpText string // pending # HELP awaiting its # TYPE
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		fail := func(format string, args ...interface{}) (map[string]*Family, error) {
+			return nil, fmt.Errorf("exposition line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				return fail("HELP without text: %q", line)
+			}
+			if helpName != "" {
+				return fail("HELP %s not followed by its TYPE", helpName)
+			}
+			helpName, helpText = name, help
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fail("malformed TYPE: %q", line)
+			}
+			name, kind := parts[0], parts[1]
+			if name != helpName {
+				return fail("TYPE %s not preceded by its HELP", name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return fail("family %s has unsupported type %q", name, kind)
+			}
+			if !famNameRE.MatchString(name) {
+				return fail("family name %q violates ^ptucker_[a-z0-9_]+$", name)
+			}
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				return fail("counter %s must end in _total", name)
+			}
+			if kind != "counter" && strings.HasSuffix(name, "_total") {
+				return fail("%s %s must not end in _total", kind, name)
+			}
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					return fail("family %s uses reserved histogram suffix %s", name, suf)
+				}
+			}
+			if _, dup := fams[name]; dup {
+				return fail("family %s declared twice", name)
+			}
+			cur = &Family{Name: name, Type: kind, Help: helpText}
+			fams[name] = cur
+			helpName, helpText = "", ""
+		case strings.HasPrefix(line, "#"):
+			continue // other comments are legal and ignored
+		default:
+			if cur == nil {
+				return fail("sample before any family declaration: %q", line)
+			}
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fail("%v in %q", err, line)
+			}
+			switch cur.Type {
+			case "counter", "gauge":
+				if name != cur.Name {
+					return fail("sample %s under family %s", name, cur.Name)
+				}
+				if cur.Type == "counter" && value < 0 {
+					return fail("counter %s has negative value %v", name, value)
+				}
+			case "histogram":
+				suffix := strings.TrimPrefix(name, cur.Name)
+				key := seriesKey(cur.Name, labels)
+				st := series[key]
+				if st == nil {
+					st = &histSeries{}
+					series[key] = st
+				}
+				switch suffix {
+				case "_bucket":
+					leStr, ok := labels["le"]
+					if !ok {
+						return fail("bucket %s lacks an le label", name)
+					}
+					le := math.Inf(1)
+					if leStr != "+Inf" {
+						le, err = strconv.ParseFloat(leStr, 64)
+						if err != nil {
+							return fail("bucket %s has bad le %q", name, leStr)
+						}
+					}
+					if st.haveLe && le <= st.lastLe {
+						return fail("bucket bounds of %s not increasing at le=%q", cur.Name, leStr)
+					}
+					if value < st.lastCum {
+						return fail("cumulative buckets of %s decreased at le=%q", cur.Name, leStr)
+					}
+					st.lastLe, st.haveLe, st.lastCum = le, true, value
+					if math.IsInf(le, 1) {
+						st.inf, st.infSeen = value, true
+					}
+				case "_sum":
+					st.sumSeen = true
+				case "_count":
+					if !st.infSeen || value != st.inf {
+						return fail("%s_count %v disagrees with its +Inf bucket", cur.Name, value)
+					}
+					st.countSeen = true
+				default:
+					return fail("sample %s under histogram %s", name, cur.Name)
+				}
+			}
+			cur.Samples++
+			_ = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if helpName != "" {
+		return nil, fmt.Errorf("exposition: trailing HELP %s without TYPE", helpName)
+	}
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("exposition: no metric families")
+	}
+	for key, st := range series {
+		if !st.infSeen || !st.sumSeen || !st.countSeen {
+			return nil, fmt.Errorf("exposition: histogram series %s is missing +Inf, _sum, or _count", key)
+		}
+	}
+	return fams, nil
+}
+
+// seriesKey identifies one histogram label-set (ignoring le), serialized in
+// a deterministic label order.
+func seriesKey(family string, labels map[string]string) string {
+	var b strings.Builder
+	b.WriteString(family)
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			names = append(names, k)
+		}
+	}
+	// The label sets here are tiny (0–1 names); insertion sort keeps the
+	// key deterministic without pulling in sort for a hot loop.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, k := range names {
+		fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseSample splits `name{label="v",...} value` into its parts, validating
+// label syntax and that the value parses as a float.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced braces")
+		}
+		name = line[:i]
+		labels, err = parseLabels(line[i+1 : j])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", nil, 0, fmt.Errorf("missing value")
+		}
+		name, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("trailing tokens after value %q", rest)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value in %q", s)
+		}
+		name := s[:eq]
+		if !labelNameRE.MatchString(name) {
+			return nil, fmt.Errorf("label name %q is not snake_case", name)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s value is not quoted", name)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("label %s value is unterminated", name)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("label %s value: %v", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("label %s repeated", name)
+		}
+		labels[name] = val
+		s = rest[end+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return nil, fmt.Errorf("junk after label %s", name)
+		}
+	}
+	return labels, nil
+}

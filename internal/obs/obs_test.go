@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !CleanRequestID(id) {
+			t.Fatalf("bad id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCleanRequestID(t *testing.T) {
+	for _, ok := range []string{"abc", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !CleanRequestID(ok) {
+			t.Errorf("CleanRequestID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "new\nline", "quo\"te", strings.Repeat("x", 65), "bräcket"} {
+		if CleanRequestID(bad) {
+			t.Errorf("CleanRequestID(%q) = true", bad)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "endpoint", "predict")
+	line := buf.String()
+	if strings.Contains(line, "hidden") {
+		t.Fatalf("info line leaked past warn level: %q", line)
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("not JSON: %q: %v", line, err)
+	}
+	if rec["msg"] != "visible" || rec["endpoint"] != "predict" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("quiet")
+	log.Info("hello")
+	if out := buf.String(); strings.Contains(out, "quiet") || !strings.Contains(out, "msg=hello") {
+		t.Fatalf("default text/info logger output: %q", out)
+	}
+
+	if _, err := NewLogger(&buf, "xml", ""); err == nil {
+		t.Fatal("accepted bogus format")
+	}
+	if _, err := NewLogger(&buf, "", "loud"); err == nil {
+		t.Fatal("accepted bogus level")
+	}
+}

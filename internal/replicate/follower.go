@@ -113,6 +113,9 @@ func (f *Follower) Run(ctx context.Context) error {
 		}
 		attempt = 0
 		if err := f.apply(ch); err != nil {
+			if ch.RequestID != "" {
+				return fmt.Errorf("%w (primary request %s)", err, ch.RequestID)
+			}
 			return err
 		}
 		f.Applier.CaughtUp(ch.LastSeq)

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Endpoint paths and header names of the replication protocol.
@@ -127,6 +128,9 @@ type Chunk struct {
 	// time; applied == LastSeq means caught up.
 	BaseSeq uint64
 	LastSeq uint64
+	// RequestID is the correlation ID the primary echoed for this poll
+	// (empty when the primary predates request IDs).
+	RequestID string
 }
 
 // Client speaks the replication protocol to one primary.
@@ -143,6 +147,11 @@ type Client struct {
 	// PollWait is the long-poll window asked of the primary (0 =
 	// DefaultPollWait).
 	PollWait time.Duration
+	// RequestID, when set, supplies a fresh correlation ID stamped on each
+	// request's X-Ptucker-Request-Id header, so a follower's fetches can be
+	// joined against the primary's access log. Nil sends none (the primary
+	// generates its own).
+	RequestID func() string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -163,6 +172,11 @@ func (c *Client) get(ctx context.Context, path string, query url.Values) (*http.
 	}
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.RequestID != nil {
+		if id := c.RequestID(); id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
+		}
 	}
 	return c.httpClient().Do(req)
 }
@@ -242,7 +256,7 @@ func (c *Client) Poll(ctx context.Context, id Identity, after uint64) (*Chunk, e
 	default:
 		return nil, fmt.Errorf("replicate: poll: primary answered %s", errorBody(resp))
 	}
-	ch := &Chunk{}
+	ch := &Chunk{RequestID: resp.Header.Get(obs.RequestIDHeader)}
 	if ch.Identity.Epoch, err = header64(resp, HeaderEpoch); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // coalescer groups concurrent single predictions into PredictBatch calls,
@@ -184,6 +185,7 @@ func (sh *coalShard) run() {
 // resubmitted immediately), so the dispatcher never touches a call past its
 // send.
 func (sh *coalShard) flush() {
+	t0 := time.Now()
 	snap := sh.c.snap()
 	batch := sh.batch
 	idxs := sh.idxs[:0]
@@ -195,7 +197,7 @@ func (sh *coalShard) flush() {
 		for i, call := range batch {
 			call.out <- predAnswer{val: vals[i]}
 		}
-		sh.record(len(batch))
+		sh.record(len(batch), t0)
 		return
 	}
 
@@ -217,16 +219,18 @@ func (sh *coalShard) flush() {
 	for i, call := range valid {
 		call.out <- predAnswer{val: vals[i]}
 	}
-	sh.record(len(valid))
+	sh.record(len(valid), t0)
 }
 
-func (sh *coalShard) record(n int) {
+func (sh *coalShard) record(n int, t0 time.Time) {
 	m := sh.c.met
 	m.flushes.Add(1)
 	m.coalesced.Add(int64(n))
 	m.predictions.Add(int64(n))
 	m.shardFlushes[sh.id].Add(1)
 	m.shardCoalesced[sh.id].Add(int64(n))
+	m.shardFlushSize[sh.id].Observe(float64(n))
+	m.shardFlushDur[sh.id].ObserveSince(t0)
 }
 
 // drainClosed empties the shard's queue after done closed, failing each
@@ -247,6 +251,9 @@ func (sh *coalShard) drainClosed() {
 // channel lets the dispatcher complete the entry without blocking).
 func (c *coalescer) predict(ctx context.Context, idx []int) (float64, error) {
 	sh := c.shards[c.rr.Add(1)%uint64(len(c.shards))]
+	// Tag the request's access-log line with the shard that handled it (a
+	// no-op outside an instrumented request).
+	noteCoalesced(ctx, sh.id)
 	call := callPool.Get().(*predCall)
 	call.idx = idx
 	select {

@@ -3,7 +3,7 @@ package serve
 import (
 	"crypto/subtle"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"time"
@@ -60,8 +60,12 @@ func (s *Server) initDurable() error {
 	s.repl.epoch = epoch
 	s.repl.gen.Store(1)
 	if j.Recovered > 0 {
-		log.Printf("serve: journal recovery dropped a torn %d-byte tail (crash mid-write); every intact record replays", j.Recovered)
+		s.event(slog.LevelWarn, "journal recovery dropped torn tail",
+			"bytes", j.Recovered, "detail", "crash mid-write; every intact record replays")
 	}
+	// Fsync latency flows into the histogram from every append path —
+	// SyncAlways appends, the SyncInterval flusher, and explicit Syncs alike.
+	j.ObserveSync(s.met.journalFsyncDur.ObserveDuration)
 
 	f, err := s.resumeFitter(m)
 	if err != nil {
@@ -117,6 +121,10 @@ func (s *Server) initDurable() error {
 		s.install(f.Snapshot())
 	}
 	s.met.journalReplayed.Store(int64(records))
+	if records > 0 {
+		s.event(slog.LevelInfo, "journal replayed",
+			"records", records, "observations", obs, "folds", folds, "covered", covered)
+	}
 	// Surviving records restart their age clock here: the journal does not
 	// persist append times, so "older than CompactAge" is measured from this
 	// boot for anything that was already on disk.
@@ -130,7 +138,8 @@ func (s *Server) initDurable() error {
 	// startup stops being single-threaded here, so this path returns without
 	// the unlocked compaction check below.
 	if s.opts.RefitAfter > 0 && obs >= s.opts.RefitAfter {
-		log.Printf("serve: replayed %d observations (threshold %d); resuming background refit", obs, s.opts.RefitAfter)
+		s.event(slog.LevelInfo, "resuming interrupted refit after replay",
+			"observations", obs, "threshold", s.opts.RefitAfter)
 		s.online.mu.Lock()
 		s.triggerRefit(f)
 		s.online.mu.Unlock()
@@ -151,11 +160,13 @@ func (s *Server) journalAppend(obs []core.Observation) (uint64, error) {
 	if s.journal == nil {
 		return 0, nil
 	}
+	t0 := time.Now()
 	seq, err := s.journal.Append(obs)
 	if err != nil {
 		return 0, fmt.Errorf("%w: journal: %v", errObserveInternal, err)
 	}
 	s.met.journalAppends.Add(1)
+	s.met.journalAppendDur.ObserveSince(t0)
 	// First uncovered record since the last compaction: start its age clock.
 	s.oldestUncovered.CompareAndSwap(0, s.now().UnixNano())
 	return seq, nil
@@ -186,18 +197,22 @@ func (s *Server) compact(m *core.Model, x *tensor.Coord, covered uint64, gen int
 		// rotated them out — observations lost on the next replay.
 		return
 	}
+	t0 := time.Now()
 	if err := core.SaveModel(s.dir.ModelPath(), m); err != nil {
-		log.Printf("serve: compaction: persist model: %v (journal kept; will replay on restart)", err)
+		s.event(slog.LevelError, "compaction failed",
+			"stage", "persist model", "error", err, "detail", "journal kept; will replay on restart")
 		s.met.compactionErrors.Add(1)
 		return
 	}
 	if err := s.journal.CompactThrough(s.dir.TensorPath(), x, covered); err != nil {
-		log.Printf("serve: compaction: %v (journal kept; will replay on restart)", err)
+		s.event(slog.LevelError, "compaction failed",
+			"stage", "rotate journal", "error", err, "detail", "journal kept; will replay on restart")
 		s.met.compactionErrors.Add(1)
 		return
 	}
 	s.durLastCovered = covered
 	s.met.compactions.Add(1)
+	s.event(slog.LevelInfo, "journal compacted", "covered", covered, "duration", time.Since(t0))
 	// Reset the age clock: clear first, then re-arm if records appended while
 	// the writes ran are already waiting. An append racing this sequence
 	// either arms the cleared clock itself (its CAS from 0 wins) or is seen
@@ -339,10 +354,13 @@ func (s *Server) rebaseDurable(m *core.Model, gen int64) {
 		err = core.SaveModel(s.dir.ModelPath(), m)
 	}
 	if err != nil {
-		log.Printf("serve: reload re-base: %v — refusing further observes (journal poisoned) so the data dir cannot mix generations", err)
+		s.event(slog.LevelError, "reload re-base failed", "error", err,
+			"detail", "refusing further observes (journal poisoned) so the data dir cannot mix generations")
 		s.met.rebaseErrors.Add(1)
 		s.journal.Poison(err)
+		return
 	}
+	s.event(slog.LevelInfo, "data dir re-based", "model", s.dir.ModelPath())
 }
 
 // --- held-out RMSE tracking ---

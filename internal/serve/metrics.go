@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -13,6 +14,22 @@ import (
 
 // endpoints is the fixed label set of the per-endpoint counters.
 var endpoints = []string{"predict", "predict-batch", "recommend", "observe", "reload", "journal"}
+
+// histEndpoints is the fixed label set of the request-duration histogram:
+// the counter endpoints plus the probe, bootstrap, and pprof routes. Fixed
+// sets keep the scrape cardinality bounded no matter what clients request.
+var histEndpoints = append([]string{"bootstrap", "healthz", "metrics", "pprof"}, endpoints...)
+
+// Refit lifecycle states exposed by ptucker_refit_state.
+const (
+	refitIdle int64 = iota
+	refitFitting
+	refitPublishing
+)
+
+// flushSizeBounds buckets coalescer flush sizes: 1..256 in doublings, which
+// spans a lone idle-server request through DefaultMaxBatch.
+var flushSizeBounds = expo.ExponentialBounds(1, 2, 9)
 
 // metrics holds the server's counters. The zero value is ready to use; the
 // per-endpoint maps are built once on first touch and read-only afterwards,
@@ -53,16 +70,41 @@ type metrics struct {
 	holdoutSet  atomic.Bool   // a held-out set is configured and scored
 	holdoutRMSE atomic.Uint64 // float64 bits of the latest held-out RMSE
 
-	// Per-shard coalescer counters, sized by initShards before the
-	// dispatchers start (read-only slice headers afterwards).
-	shardFlushes   []atomic.Int64 // flushes executed, by shard
-	shardCoalesced []atomic.Int64 // predictions coalesced, by shard
+	// Refit lifecycle gauges: state machine position, the in-flight refit's
+	// latest ALS iteration and fit error (fed by Config.OnIteration), and
+	// the wall-clock seconds of the last published refit.
+	refitState    atomic.Int64
+	refitIter     atomic.Int64
+	refitFitError atomic.Uint64 // float64 bits
+	refitLastSecs atomic.Uint64 // float64 bits
+
+	// Latency histograms (lock-free; see internal/metrics). reqDur is keyed
+	// by histEndpoints and populated by init; the rest record one duration
+	// family each.
+	reqDur           map[string]*expo.Histogram
+	journalAppendDur *expo.Histogram
+	journalFsyncDur  *expo.Histogram
+	foldInDur        *expo.Histogram
+	replicaApplyDur  *expo.Histogram
+
+	// Per-shard coalescer counters and histograms, sized by initShards
+	// before the dispatchers start (read-only slice headers afterwards).
+	shardFlushes   []atomic.Int64    // flushes executed, by shard
+	shardCoalesced []atomic.Int64    // predictions coalesced, by shard
+	shardFlushSize []*expo.Histogram // batch size per flush, by shard
+	shardFlushDur  []*expo.Histogram // flush wall-clock seconds, by shard
 }
 
 // initShards sizes the per-shard counters; called once, before serving.
 func (m *metrics) initShards(n int) {
 	m.shardFlushes = make([]atomic.Int64, n)
 	m.shardCoalesced = make([]atomic.Int64, n)
+	m.shardFlushSize = make([]*expo.Histogram, n)
+	m.shardFlushDur = make([]*expo.Histogram, n)
+	for i := 0; i < n; i++ {
+		m.shardFlushSize[i] = expo.NewHistogram(flushSizeBounds)
+		m.shardFlushDur[i] = expo.NewDurationHistogram()
+	}
 }
 
 func (m *metrics) init() {
@@ -73,7 +115,22 @@ func (m *metrics) init() {
 			m.req[e] = new(atomic.Int64)
 			m.errs[e] = new(atomic.Int64)
 		}
+		m.reqDur = make(map[string]*expo.Histogram, len(histEndpoints))
+		for _, e := range histEndpoints {
+			m.reqDur[e] = expo.NewDurationHistogram()
+		}
+		m.journalAppendDur = expo.NewDurationHistogram()
+		m.journalFsyncDur = expo.NewDurationHistogram()
+		m.foldInDur = expo.NewDurationHistogram()
+		m.replicaApplyDur = expo.NewDurationHistogram()
 	})
+}
+
+// duration returns the request-duration histogram for endpoint (nil for an
+// endpoint outside the fixed label set).
+func (m *metrics) duration(endpoint string) *expo.Histogram {
+	m.init()
+	return m.reqDur[endpoint]
 }
 
 // requests returns the request counter for endpoint.
@@ -114,6 +171,14 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func(
 		}
 		e.CounterVec("ptucker_requests_total", "Requests received, by endpoint.", "endpoint", byEndpoint(m.req))
 		e.CounterVec("ptucker_errors_total", "Requests answered with an error, by endpoint.", "endpoint", byEndpoint(m.errs))
+		histLabels := append([]string(nil), histEndpoints...)
+		sort.Strings(histLabels)
+		e.HistogramVec("ptucker_request_duration_seconds", "Wall-clock request latency, by endpoint.", "endpoint",
+			func(sample func(string, *expo.Histogram)) {
+				for _, l := range histLabels {
+					sample(l, m.reqDur[l])
+				}
+			})
 		e.Counter("ptucker_predictions_total", "Tensor cells scored across all paths.", m.predictions.Load())
 		e.Counter("ptucker_coalesced_batches_total", "Coalescer flushes executed.", m.flushes.Load())
 		e.Counter("ptucker_coalesced_predictions_total", "Single predictions served through the coalescer.", m.coalesced.Load())
@@ -127,6 +192,15 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func(
 			}
 			e.CounterVec("ptucker_shard_flushes_total", "Coalescer flushes executed, by dispatcher shard.", "shard", byShard(m.shardFlushes))
 			e.CounterVec("ptucker_shard_coalesced_total", "Single predictions coalesced, by dispatcher shard.", "shard", byShard(m.shardCoalesced))
+			byShardHist := func(hists []*expo.Histogram) func(func(string, *expo.Histogram)) {
+				return func(sample func(string, *expo.Histogram)) {
+					for i := range hists {
+						sample(strconv.Itoa(i), hists[i])
+					}
+				}
+			}
+			e.HistogramVec("ptucker_coalescer_flush_size", "Predictions scored per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushSize))
+			e.HistogramVec("ptucker_coalescer_flush_duration_seconds", "Wall-clock seconds per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushDur))
 		}
 		if depths != nil {
 			e.GaugeIntVec("ptucker_shard_queue_depth", "Queued predictions awaiting a flush, by dispatcher shard (sampled).", "shard",
@@ -141,9 +215,16 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func(
 		e.Counter("ptucker_foldins_total", "New rows folded into the served model.", m.foldIns.Load())
 		e.Counter("ptucker_refits_total", "Background warm refits published.", m.refits.Load())
 		e.Counter("ptucker_refit_errors_total", "Background warm refits that failed.", m.refitErrors.Load())
+		e.GaugeInt("ptucker_refit_state", "Background refit lifecycle: 0 idle, 1 fitting, 2 publishing.", m.refitState.Load())
+		e.GaugeInt("ptucker_refit_iteration", "Latest ALS iteration completed by the in-flight (or last) background refit.", m.refitIter.Load())
+		e.Gauge("ptucker_refit_fit_error", "Training reconstruction error at the refit's latest completed iteration.", math.Float64frombits(m.refitFitError.Load()))
+		e.Gauge("ptucker_refit_last_duration_seconds", "Wall-clock seconds the last published background refit took.", math.Float64frombits(m.refitLastSecs.Load()))
 		e.Counter("ptucker_request_timeouts_total", "Requests cut off by the per-request timeout.", m.timeouts.Load())
 		e.Counter("ptucker_staged_observations_total", "Observations buffered in the staging queue while a refit ran.", m.stagedObservations.Load())
 		e.Counter("ptucker_journal_appends_total", "Observation batches journaled to the data directory.", m.journalAppends.Load())
+		e.Histogram("ptucker_journal_append_duration_seconds", "Wall-clock seconds per journal append (encode + write + any inline fsync).", m.journalAppendDur)
+		e.Histogram("ptucker_journal_fsync_duration_seconds", "Wall-clock seconds per journal fsync, across all sync policies.", m.journalFsyncDur)
+		e.Histogram("ptucker_foldin_duration_seconds", "Wall-clock seconds per cold-start fold-in solve on the live path.", m.foldInDur)
 		e.GaugeInt("ptucker_journal_replayed_records", "Journal records replayed at the last startup.", m.journalReplayed.Load())
 		e.Counter("ptucker_journal_compactions_total", "Journal compactions into model + training snapshots.", m.compactions.Load())
 		e.Counter("ptucker_journal_compaction_errors_total", "Compactions that failed (journal kept for replay).", m.compactionErrors.Load())
@@ -162,6 +243,7 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func(
 				e.GaugeInt("ptucker_replica_applied_seq", "Highest primary journal sequence applied to this replica.", int64(rs.appliedSeq))
 				e.Counter("ptucker_replica_bootstraps_total", "Times this replica bootstrapped (or re-bootstrapped) from its primary.", m.replicaBootstraps.Load())
 				e.Counter("ptucker_replica_records_applied_total", "Primary journal records applied by this replica.", m.replicaRecords.Load())
+				e.Histogram("ptucker_replica_apply_duration_seconds", "Wall-clock seconds this replica spent journaling and applying one streamed record.", m.replicaApplyDur)
 				e.Counter("ptucker_replica_writes_rejected_total", "Write requests refused because this process is a read replica.", m.writesRejected.Load())
 			}
 		}
@@ -173,5 +255,13 @@ func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func(
 		e.GaugeInt("ptucker_model_loaded_timestamp_seconds", "Unix time the serving snapshot was installed.", s.loadedAt.Unix())
 		e.GaugeInt("ptucker_model_order", "Tensor order of the served model.", int64(s.order))
 		e.GaugeInt("ptucker_model_core_nnz", "Live core-tensor entries of the served model (drops under Approx truncation and Sparsify pruning).", int64(s.coreNNZ))
+
+		// Runtime introspection, sampled at scrape time.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.GaugeInt("ptucker_goroutines", "Goroutines currently live in this process.", int64(runtime.NumGoroutine()))
+		e.GaugeInt("ptucker_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", int64(ms.HeapAlloc))
+		e.CounterFloat("ptucker_gc_pause_seconds_total", "Cumulative seconds the process spent in GC stop-the-world pauses.", float64(ms.PauseTotalNs)/1e9)
+		e.Counter("ptucker_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
 	}
 }

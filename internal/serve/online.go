@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -227,6 +230,15 @@ func (s *Server) resumeFitter(m *core.Model) (*core.Fitter, error) {
 	if cfg.Sparsify > 0 && s.holdout != nil {
 		cfg.SparsifyHoldout = s.holdout
 	}
+	// Surface refit progress on /metrics: OnIteration runs between ALS
+	// iterations on the refit goroutine, so the gauges track the in-flight
+	// refit live. (It is fit-time input, never serialized, so a resumed
+	// model always needs it re-attached here.)
+	cfg.OnIteration = func(st core.IterStats) error {
+		s.met.refitIter.Store(int64(st.Iter))
+		s.met.refitFitError.Store(math.Float64bits(st.Error))
+		return nil
+	}
 	return core.ResumeFitter(m, cfg)
 }
 
@@ -237,7 +249,11 @@ func (s *Server) triggerRefit(f *core.Fitter) {
 	o := &s.online
 	o.refitting = true
 	o.refitFitter = f
+	absorbed := o.pending
 	o.pending = 0
+	s.met.refitState.Store(refitFitting)
+	s.met.refitIter.Store(0)
+	s.event(slog.LevelInfo, "refit started", "observations", absorbed, "dims", fmt.Sprint(f.Dims()))
 	// The refit's context chains off the server lifetime (Close aborts
 	// it) and is additionally cancellable by a superseding reload.
 	rctx, cancel := context.WithCancel(s.life)
@@ -302,6 +318,7 @@ func (s *Server) stageObserve(ctx context.Context, obs []core.Observation) (*obs
 func (s *Server) applyPlan(f *core.Fitter, plan *obsPlan, live bool) (*observeResponse, error) {
 	resp := &observeResponse{Appended: len(plan.appends)}
 	for _, g := range plan.folds {
+		t0 := time.Now()
 		if _, err := f.FoldIn(g.mode, g.obs); err != nil {
 			if len(resp.Folded) > 0 {
 				s.install(f.Snapshot())
@@ -311,6 +328,7 @@ func (s *Server) applyPlan(f *core.Fitter, plan *obsPlan, live bool) (*observeRe
 		resp.Folded = append(resp.Folded, foldResult{Mode: g.mode, Index: g.index, NNZ: len(g.obs)})
 		if live {
 			s.met.foldIns.Add(1)
+			s.met.foldInDur.ObserveSince(t0)
 		}
 	}
 	if len(plan.appends) > 0 {
@@ -336,6 +354,7 @@ func (s *Server) applyPlan(f *core.Fitter, plan *obsPlan, live bool) (*observeRe
 // server.
 func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel context.CancelFunc) {
 	defer cancel()
+	t0 := time.Now()
 	o := &s.online
 	m, err := f.Refit(ctx, nil)
 
@@ -346,15 +365,19 @@ func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel con
 		o.refitting = false
 		o.refitFitter = nil
 		o.refitCancel = nil
+		s.met.refitState.Store(refitIdle)
 		o.mu.Unlock()
+		s.event(slog.LevelWarn, "refit abandoned", "reason", "superseded by reload", "duration", time.Since(t0))
 		return
 	}
 	refitOK := err == nil
 	if refitOK {
 		s.met.refits.Add(1)
+		s.met.refitState.Store(refitPublishing)
 	} else if !errors.Is(err, context.Canceled) {
 		s.met.refitErrors.Add(1)
 	}
+	refitErr := err
 
 	// Drain the staging queue under mu, looping until a pass finds it empty —
 	// only then is the window closed, atomically with the last check, so no
@@ -441,7 +464,25 @@ func (s *Server) backgroundRefit(ctx context.Context, f *core.Fitter, cancel con
 	o.mu.Lock()
 	o.refitting = false
 	o.refitCancel = nil
+	s.met.refitState.Store(refitIdle)
 	o.mu.Unlock()
+
+	elapsed := time.Since(t0)
+	switch {
+	case refitOK:
+		s.met.refitLastSecs.Store(math.Float64bits(elapsed.Seconds()))
+		s.event(slog.LevelInfo, "refit published", "duration", elapsed,
+			"iterations", s.met.refitIter.Load(), "drained_folds", drainedFolds,
+			"core_nnz", final.Core.NNZ())
+	case errors.Is(refitErr, context.Canceled):
+		// The server is closing (or a reload cancelled the compute but lost
+		// the ownership race); the model keeps serving as-is.
+		s.event(slog.LevelInfo, "refit cancelled", "duration", elapsed)
+	default:
+		// The inconsistency fix: a failed refit used to bump a counter and
+		// say nothing. The fitter keeps serving its pre-refit state.
+		s.event(slog.LevelError, "refit failed", "error", refitErr, "duration", elapsed)
+	}
 }
 
 // install publishes m as the serving snapshot. The empty path records that

@@ -3,13 +3,14 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/replicate"
 	"repro/internal/store"
 )
@@ -222,7 +223,8 @@ func (s *Server) handleJournalBootstrap(w http.ResponseWriter, r *http.Request) 
 	if _, err := snap.model.WriteTo(w); err != nil {
 		// Headers are gone; all we can do is cut the connection short so
 		// the client sees a truncated body, not a valid-looking model.
-		log.Printf("serve: bootstrap stream: %v", err)
+		s.event(slog.LevelWarn, "bootstrap stream interrupted", "error", err,
+			"request_id", r.Header.Get(obs.RequestIDHeader))
 	}
 	s.met.bootstrapsServed.Add(1)
 }
@@ -382,6 +384,9 @@ func (s *Server) initFollower() error {
 			Primary:  s.opts.Follow,
 			Token:    s.opts.AuthToken,
 			PollWait: s.opts.PollWait,
+			// Every bootstrap/poll carries a fresh correlation ID, so a
+			// follower-side fetch joins up with the primary's access log.
+			RequestID: obs.NewRequestID,
 		},
 		done: make(chan struct{}),
 	}
@@ -415,14 +420,16 @@ func (s *Server) initFollower() error {
 		Applier:  (*replicaApplier)(s),
 		Identity: id,
 		Order:    s.snapshot().order,
-		Logf:     log.Printf,
+		Logf: func(format string, args ...interface{}) {
+			s.event(slog.LevelInfo, fmt.Sprintf(format, args...), "component", "replicate")
+		},
 	}
 	go func() {
 		defer close(fol.done)
 		if err := run.Run(s.life); err != nil {
 			fol.failed.Store(true)
-			log.Printf("serve: replication stopped: %v (replica frozen at seq %d; restart to resume)",
-				err, s.repl.appliedSeq.Load())
+			s.event(slog.LevelError, "replication stopped", "error", err,
+				"frozen_at_seq", s.repl.appliedSeq.Load(), "detail", "restart to resume")
 		}
 	}()
 	return nil
@@ -437,7 +444,7 @@ func (s *Server) resumeReplica() (replicate.Identity, bool) {
 		return replicate.Identity{}, false
 	}
 	fail := func(err error) (replicate.Identity, bool) {
-		log.Printf("serve: local replica state unusable: %v (re-bootstrapping)", err)
+		s.event(slog.LevelWarn, "local replica state unusable", "error", err, "detail", "re-bootstrapping")
 		return replicate.Identity{}, false
 	}
 	st, ok, err := s.dir.LoadFollowerState()
@@ -453,8 +460,10 @@ func (s *Server) resumeReplica() (replicate.Identity, bool) {
 		return fail(err)
 	}
 	if j.Recovered > 0 {
-		log.Printf("serve: replica journal recovery dropped a torn %d-byte tail; the intact records replay", j.Recovered)
+		s.event(slog.LevelWarn, "replica journal recovery dropped torn tail",
+			"bytes", j.Recovered, "detail", "the intact records replay")
 	}
+	j.ObserveSync(s.met.journalFsyncDur.ObserveDuration)
 	// The model must sit inside the journal's window: at or past the base
 	// (records below the model's coverage may have been compacted away) and
 	// at or before the tail (a model ahead of the journal cannot happen in
@@ -492,8 +501,8 @@ func (s *Server) resumeReplica() (replicate.Identity, bool) {
 	s.cur.Store(newSnapshot(f.Snapshot(), s.opts.Follow, s.opts.Workers, s.now()))
 	s.repl.appliedSeq.Store(j.LastSeq())
 	s.repl.fol.lastAdvance.Store(s.now().UnixNano())
-	log.Printf("serve: resumed replica at seq %d (%d local records replayed); tailing %s",
-		j.LastSeq(), replayed, s.opts.Follow)
+	s.event(slog.LevelInfo, "resumed replica from local state",
+		"seq", j.LastSeq(), "replayed", replayed, "primary", s.opts.Follow)
 	return replicate.Identity{Epoch: st.Epoch, Gen: st.Gen}, true
 }
 
@@ -509,7 +518,8 @@ func (s *Server) bootstrapBlocking() (*replicate.Bootstrap, error) {
 		}
 		lastErr = err
 		if attempt < bootstrapAttempts {
-			log.Printf("serve: bootstrap from %s failed: %v (retry %d/%d)", s.opts.Follow, err, attempt, bootstrapAttempts-1)
+			s.event(slog.LevelWarn, "bootstrap failed",
+				"primary", s.opts.Follow, "error", err, "attempt", attempt, "retries", bootstrapAttempts-1)
 			select {
 			case <-s.life.Done():
 				return nil, ErrServerClosed
@@ -545,6 +555,7 @@ func (s *Server) replicaRebase(bs *replicate.Bootstrap) error {
 		if err != nil {
 			return err
 		}
+		j.ObserveSync(s.met.journalFsyncDur.ObserveDuration)
 		fol.journal = j
 		if err := s.dir.SaveFollowerState(store.FollowerState{Epoch: bs.Identity.Epoch, Gen: bs.Identity.Gen}); err != nil {
 			return err
@@ -558,6 +569,8 @@ func (s *Server) replicaRebase(bs *replicate.Bootstrap) error {
 	o.mu.Unlock()
 	fol.lastAdvance.Store(s.now().UnixNano())
 	s.met.replicaBootstraps.Add(1)
+	s.event(slog.LevelInfo, "replica bootstrapped",
+		"primary_epoch", bs.Identity.Epoch, "primary_gen", bs.Identity.Gen, "covered", bs.Covered)
 	s.updateHoldout(bs.Model)
 	return nil
 }
@@ -575,6 +588,7 @@ func (a *replicaApplier) Rebase(bs *replicate.Bootstrap) error {
 func (a *replicaApplier) Apply(rec store.Record) error {
 	s := a.srv()
 	fol := s.repl.fol
+	t0 := time.Now()
 	// Copy-journal-before-apply, the primary's own discipline: a crash
 	// after the append replays the record on restart; a crash before it
 	// re-fetches it from the primary.
@@ -608,6 +622,7 @@ func (a *replicaApplier) Apply(rec store.Record) error {
 	}
 	fol.lastAdvance.Store(s.now().UnixNano())
 	s.met.replicaRecords.Add(1)
+	s.met.replicaApplyDur.ObserveSince(t0)
 
 	// Local compaction: fold the replica journal into the model container
 	// once it outgrows CompactBytes. Synchronous and single-threaded (this
@@ -618,13 +633,16 @@ func (a *replicaApplier) Apply(rec store.Record) error {
 		fol.journal.Size() >= s.opts.CompactBytes {
 		covered := rec.Seq
 		if err := s.dir.SaveReplicaModel(f.Snapshot(), covered); err != nil {
-			log.Printf("serve: replica compaction: %v (journal kept; will replay on restart)", err)
+			s.event(slog.LevelError, "replica compaction failed", "stage", "save model",
+				"error", err, "detail", "journal kept; will replay on restart")
 			s.met.compactionErrors.Add(1)
 		} else if err := fol.journal.ResetThrough(covered); err != nil {
-			log.Printf("serve: replica compaction: %v (journal kept; will replay on restart)", err)
+			s.event(slog.LevelError, "replica compaction failed", "stage", "rotate journal",
+				"error", err, "detail", "journal kept; will replay on restart")
 			s.met.compactionErrors.Add(1)
 		} else {
 			s.met.compactions.Add(1)
+			s.event(slog.LevelInfo, "replica journal compacted", "covered", covered)
 		}
 	}
 	return nil

@@ -53,7 +53,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -193,6 +195,21 @@ type Options struct {
 	// long an empty poll is held open waiting for fresh records); 0 uses
 	// replicate.DefaultPollWait.
 	PollWait time.Duration
+	// Logger receives the server's structured log stream: per-request
+	// access lines at Debug, lifecycle events (reloads, refits,
+	// compactions, replication) at Info and up. Nil uses slog.Default().
+	// Build one from the -log-format/-log-level flags via obs.NewLogger.
+	Logger *slog.Logger
+	// SlowRequest escalates the access-log line of any request that ran at
+	// least this long to Warn with full detail (request ID, endpoint,
+	// status, duration, coalescer shard) regardless of log level, so tail
+	// latencies are diagnosable without Debug-level volume. 0 disables.
+	SlowRequest time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/, guarded by the same
+	// bearer token as the mutating endpoints (AuthToken). Profiles expose
+	// internals (and the CPU profile costs real time), so the mount is
+	// opt-in and should not be enabled without a token off-localhost.
+	Pprof bool
 }
 
 // DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
@@ -235,6 +252,11 @@ type Server struct {
 	// maxBody and timeout are the resolved hardening knobs (0 = disabled).
 	maxBody int64
 	timeout time.Duration
+
+	// log is the resolved structured logger (never nil) and slowReq the
+	// resolved slow-request threshold; see accesslog.go.
+	log     *slog.Logger
+	slowReq time.Duration
 
 	// dir and journal are the durability handles (nil without a DataDir);
 	// holdout is the held-out RMSE tensor (nil without a HoldoutPath).
@@ -292,6 +314,14 @@ func New(opts Options) (*Server, error) {
 		opts.MaxBatch = DefaultMaxBatch
 	}
 	s := &Server{opts: opts, now: time.Now}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.slowReq = opts.SlowRequest
+	// Histograms are allocated eagerly: the fold-in and journal paths record
+	// into them before any HTTP request could have lazily initialized them.
+	s.met.init()
 	s.life, s.lifeStop = context.WithCancel(context.Background())
 	switch {
 	case opts.MaxBodyBytes == 0:
@@ -473,6 +503,7 @@ func (s *Server) reload(path string) (*snapshot, error) {
 
 	s.updateHoldout(m)
 	s.met.reloads.Add(1)
+	s.event(slog.LevelInfo, "model reloaded", "model", snap.path, "dims", fmt.Sprint(snap.dims))
 	return snap, nil
 }
 
@@ -511,32 +542,45 @@ func (s *Server) Close() {
 // keep answering even when the serving path is saturated.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/v1/predict", s.withTimeout(s.handlePredict))
-	mux.Handle("/v1/predict-batch", s.withTimeout(s.handlePredictBatch))
-	mux.Handle("/v1/recommend", s.withTimeout(s.handleRecommend))
+	mux.Handle("/v1/predict", s.instrument("predict", s.withTimeout(s.handlePredict)))
+	mux.Handle("/v1/predict-batch", s.instrument("predict-batch", s.withTimeout(s.handlePredictBatch)))
+	mux.Handle("/v1/recommend", s.instrument("recommend", s.withTimeout(s.handleRecommend)))
 	if s.isFollower() {
 		// A replica's model history belongs to its primary: writes here
 		// would silently diverge, so they are refused with a hint at the
 		// one address that can take them. The journal endpoints are
 		// refused too — replicas do not re-share the stream.
-		mux.Handle("/v1/observe", s.rejectOnFollower())
-		mux.Handle("/v1/reload", s.rejectOnFollower())
-		mux.Handle(replicate.StreamPath, s.rejectOnFollower())
-		mux.Handle(replicate.BootstrapPath, s.rejectOnFollower())
+		mux.Handle("/v1/observe", s.instrument("observe", s.rejectOnFollower()))
+		mux.Handle("/v1/reload", s.instrument("reload", s.rejectOnFollower()))
+		mux.Handle(replicate.StreamPath, s.instrument("journal", s.rejectOnFollower()))
+		mux.Handle(replicate.BootstrapPath, s.instrument("bootstrap", s.rejectOnFollower()))
 	} else {
-		mux.Handle("/v1/observe", s.requireAuth(s.withTimeout(s.handleObserve)))
-		mux.Handle("/v1/reload", s.requireAuth(s.withTimeout(s.handleReload)))
+		mux.Handle("/v1/observe", s.instrument("observe", s.requireAuth(s.withTimeout(s.handleObserve))))
+		mux.Handle("/v1/reload", s.instrument("reload", s.requireAuth(s.withTimeout(s.handleReload))))
 		// The stream endpoint long-polls by design, so it is mounted
 		// without the per-request timeout; its own wait window bounds it.
-		mux.Handle(replicate.StreamPath, s.requireAuth(http.HandlerFunc(s.handleJournalStream)))
-		mux.Handle(replicate.BootstrapPath, s.requireAuth(http.HandlerFunc(s.handleJournalBootstrap)))
+		mux.Handle(replicate.StreamPath, s.instrument("journal", s.requireAuth(http.HandlerFunc(s.handleJournalStream))))
+		mux.Handle(replicate.BootstrapPath, s.instrument("bootstrap", s.requireAuth(http.HandlerFunc(s.handleJournalBootstrap))))
 	}
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	var depths func() []int
 	if s.coal != nil {
 		depths = s.coal.queueDepths
 	}
-	mux.HandleFunc("/metrics", s.met.handler(s.snapshot, depths, s.replSample))
+	mux.Handle("/metrics", s.instrument("metrics", s.met.handler(s.snapshot, depths, s.replSample)))
+	if s.opts.Pprof {
+		// The profiling endpoints sit behind the same bearer token as the
+		// mutating endpoints: profiles leak internals and the CPU profile
+		// costs real wall-clock, so anonymous access is not acceptable
+		// once a token is configured.
+		pp := http.NewServeMux()
+		pp.HandleFunc("/debug/pprof/", pprof.Index)
+		pp.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pp.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pp.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pp.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/pprof/", s.instrument("pprof", s.requireAuth(pp)))
+	}
 	return mux
 }
 

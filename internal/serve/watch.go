@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"os"
 	"time"
 )
@@ -59,8 +60,12 @@ func (s *Server) WatchModel(ctx context.Context, interval time.Duration) error {
 			}
 			if err := s.Reload(""); err != nil {
 				// Counted like any other failed reload; stat is left stale
-				// so the next tick retries.
+				// so the next tick retries. Logged too — this used to bump
+				// the counter silently while every other reload failure
+				// path said why.
 				s.met.errors("reload").Add(1)
+				s.event(slog.LevelWarn, "watched model reload failed",
+					"model", s.opts.ModelPath, "error", err, "detail", "old model keeps serving; retrying next tick")
 				continue
 			}
 			lastMod, lastSize = fi.ModTime(), fi.Size()

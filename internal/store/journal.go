@@ -134,6 +134,12 @@ type Journal struct {
 	syncErr error // a failed background fsync poisons the journal
 	closed  bool
 
+	// observeSync, when set, receives the wall-clock duration of each
+	// successful fsync — every path flushes through it (SyncAlways appends,
+	// the SyncBatch flusher, explicit Syncs), so the owner sees the full
+	// fsync latency distribution. Invoked under mu; keep it cheap.
+	observeSync func(time.Duration)
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -356,13 +362,25 @@ func (j *Journal) Append(obs []core.Observation) (uint64, error) {
 
 	switch j.policy.Mode {
 	case SyncAlways:
+		t0 := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return 0, fmt.Errorf("store: journal fsync: %w", err)
+		}
+		if j.observeSync != nil {
+			j.observeSync(time.Since(t0))
 		}
 	case SyncBatch:
 		j.dirty = true
 	}
 	return seq, nil
+}
+
+// ObserveSync installs fn to receive the duration of every successful fsync
+// (nil removes it). The serving layer points it at a latency histogram.
+func (j *Journal) ObserveSync(fn func(time.Duration)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.observeSync = fn
 }
 
 // Replay streams every intact record, in order, to fn. It holds the journal
@@ -542,9 +560,13 @@ func (j *Journal) syncLocked() error {
 		return nil
 	}
 	j.dirty = false
+	t0 := time.Now()
 	if err := j.f.Sync(); err != nil {
 		j.syncErr = fmt.Errorf("store: journal fsync: %w", err)
 		return j.syncErr
+	}
+	if j.observeSync != nil {
+		j.observeSync(time.Since(t0))
 	}
 	return nil
 }

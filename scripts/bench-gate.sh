@@ -39,3 +39,13 @@ go test -run '^$' -bench '^BenchmarkServeCoalescedPredict$' -benchtime 100000x -
 go test -run '^$' -bench '^BenchmarkFoldIn$' -benchtime 5000x -count 3 ./internal/core | tee -a "$out"
 # Binary tensor snapshot load (~230µs/op → ~100ms windows).
 go test -run '^$' -bench '^BenchmarkBinaryRead$' -benchtime 500x -count 3 ./internal/store | tee -a "$out"
+# Histogram record path: every request/flush/fsync observation pays this, so
+# it is gated on ns/op like the rest AND must stay allocation-free — an
+# alloc here would show up as GC pressure on the serving hot path.
+go test -run '^$' -bench '^BenchmarkHistogramRecord$' -benchtime 2000000x -count 3 -benchmem ./internal/metrics | tee -a "$out"
+if grep '^BenchmarkHistogramRecord' "$out" | awk '{ for (i=1; i<NF; i++) if ($(i+1) == "allocs/op" && $i != "0") exit 1 }'; then
+    :
+else
+    echo "bench-gate: BenchmarkHistogramRecord allocates on the record path" >&2
+    exit 1
+fi

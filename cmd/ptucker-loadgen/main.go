@@ -24,12 +24,20 @@
 // report shows whether reads scale linearly across the replica set. -token
 // sends the primary's bearer token on observe requests.
 //
+// With -models the generator targets a multi-model server (ptucker-serve
+// -models-dir): each tenant's shape is discovered from /m/<name>/healthz,
+// and every request carries the X-Ptucker-Model header, round-robining
+// across the listed tenants — mixed multi-tenant load in one run. -models
+// and -replicas are mutually exclusive.
+//
 // Usage:
 //
 //	ptucker-loadgen -addr http://localhost:8080 -conns 64 -duration 30s \
 //	    -mix predict=8,batch=1,recommend=1 -batch-size 32 -k 10 -out report.json
 //	ptucker-loadgen -addr http://primary:8080 -replicas http://r1:8081,http://r2:8082 \
 //	    -mix predict=16,recommend=2,observe=1 -token $TOKEN
+//	ptucker-loadgen -addr http://localhost:8080 -models movies,music,books \
+//	    -mix predict=8,batch=1,recommend=1,observe=1
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 type config struct {
 	Addr      string        // base URL of the primary (takes writes and reads)
 	Replicas  []string      // follower base URLs; the read mix spreads over Addr + Replicas
+	Models    []string      // tenant names on a multi-model server; requests round-robin across them (excludes Replicas)
 	Token     string        // bearer token sent on observe requests (the primary's -auth-token)
 	Conns     int           // concurrent closed-loop connections
 	Duration  time.Duration // how long to generate load
@@ -126,6 +135,7 @@ type targetReport struct {
 type report struct {
 	Addr        string               `json:"addr"`
 	Replicas    []string             `json:"replicas,omitempty"`
+	Models      []string             `json:"models,omitempty"`
 	Connections int                  `json:"connections"`
 	DurationSec float64              `json:"duration_seconds"`
 	Requests    int64                `json:"requests"`
@@ -264,6 +274,10 @@ func run(cfg config) (*report, error) {
 		cum[i] = acc
 	}
 
+	if len(cfg.Models) > 0 && len(cfg.Replicas) > 0 {
+		return nil, fmt.Errorf("loadgen: -models and -replicas cannot be combined")
+	}
+
 	// Target 0 is the primary; reads round-robin over all targets, writes
 	// stick to 0.
 	targets := append([]string{cfg.Addr}, cfg.Replicas...)
@@ -276,10 +290,25 @@ func run(cfg config) (*report, error) {
 		},
 	}
 	// The shape comes from the primary — the write authority; replicas
-	// converge to it.
-	dims, err := discoverDims(client, cfg.Addr)
-	if err != nil {
-		return nil, err
+	// converge to it. On a multi-model server every tenant has its own shape,
+	// discovered through its path prefix; the per-request round-robin then
+	// routes via the model header against a tenant-matched generator.
+	var dims []int
+	dimsByModel := make(map[string][]int, len(cfg.Models))
+	if len(cfg.Models) > 0 {
+		for _, name := range cfg.Models {
+			d, err := discoverDims(client, cfg.Addr+"/m/"+name)
+			if err != nil {
+				return nil, fmt.Errorf("model %s: %w", name, err)
+			}
+			dimsByModel[name] = d
+		}
+	} else {
+		var err error
+		dims, err = discoverDims(client, cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	stats := make([]*connStats, cfg.Conns)
@@ -294,7 +323,14 @@ func run(cfg config) (*report, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(conn)*7919))
 			gen := requestGen{rng: rng, dims: dims, batch: cfg.BatchSize, k: cfg.K}
+			// One generator per tenant: each model has its own shape, so
+			// indices must come from the generator matching the routed model.
+			gens := make(map[string]*requestGen, len(cfg.Models))
+			for _, name := range cfg.Models {
+				gens[name] = &requestGen{rng: rng, dims: dimsByModel[name], batch: cfg.BatchSize, k: cfg.K}
+			}
 			rr := conn // stagger the round-robin start across connections
+			mr := conn // independent round-robin over models
 			for time.Now().Before(deadline) {
 				op := pickOp(rng, cum)
 				ti := 0
@@ -302,13 +338,20 @@ func run(cfg config) (*report, error) {
 					ti = rr % len(targets)
 					rr++
 				}
-				path, body := gen.next(op)
+				model := ""
+				g := &gen
+				if len(cfg.Models) > 0 {
+					model = cfg.Models[mr%len(cfg.Models)]
+					mr++
+					g = gens[model]
+				}
+				path, body := g.next(op)
 				token := ""
 				if op == opObserve {
 					token = cfg.Token
 				}
 				t0 := time.Now()
-				ok, reqID := post(client, targets[ti]+path, body, token)
+				ok, reqID := post(client, targets[ti]+path, body, token, model)
 				lat := time.Since(t0)
 				st.count[ti][op]++
 				if !ok {
@@ -330,6 +373,7 @@ func run(cfg config) (*report, error) {
 	rep := &report{
 		Addr:        cfg.Addr,
 		Replicas:    cfg.Replicas,
+		Models:      cfg.Models,
 		Connections: cfg.Conns,
 		DurationSec: elapsed.Seconds(),
 		Ops:         make(map[string]*opReport, len(opNames)),
@@ -497,14 +541,18 @@ func (g *requestGen) next(op int) (string, []byte) {
 }
 
 // post issues one request and reports success plus the server-echoed
-// request ID. The body is drained so the transport can reuse the connection
-// — essential for closed-loop throughput.
-func post(client *http.Client, url string, body []byte, token string) (bool, string) {
+// request ID. A non-empty model routes the request on a multi-model server
+// via the X-Ptucker-Model header. The body is drained so the transport can
+// reuse the connection — essential for closed-loop throughput.
+func post(client *http.Client, url string, body []byte, token, model string) (bool, string) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return false, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if model != "" {
+		req.Header.Set("X-Ptucker-Model", model)
+	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
 	}
@@ -517,7 +565,8 @@ func post(client *http.Client, url string, body []byte, token string) (bool, str
 	return resp.StatusCode == http.StatusOK, resp.Header.Get(obs.RequestIDHeader)
 }
 
-// parseReplicas splits a comma-separated -replicas list into base URLs.
+// parseReplicas splits a comma-separated list (-replicas URLs or -models
+// names) into trimmed entries.
 func parseReplicas(s string) []string {
 	var out []string
 	for _, r := range strings.Split(s, ",") {
@@ -533,6 +582,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "base URL of the primary ptucker-serve instance")
 		replicas = flag.String("replicas", "", "comma-separated follower base URLs; the read mix spreads across primary + replicas, writes stay on the primary")
+		models   = flag.String("models", "", "comma-separated tenant names on a multi-model server; requests round-robin across them via the X-Ptucker-Model header")
 		token    = flag.String("token", "", "bearer token sent on observe requests (the primary's -auth-token)")
 		conns    = flag.Int("conns", 32, "concurrent closed-loop connections")
 		duration = flag.Duration("duration", 30*time.Second, "how long to generate load")
@@ -549,6 +599,7 @@ func main() {
 	rep, err := run(config{
 		Addr:      strings.TrimRight(*addr, "/"),
 		Replicas:  parseReplicas(*replicas),
+		Models:    parseReplicas(*models),
 		Token:     *token,
 		Conns:     *conns,
 		Duration:  *duration,

@@ -1,16 +1,23 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -91,6 +98,170 @@ func TestParseReplicas(t *testing.T) {
 	if got := parseReplicas(""); got != nil {
 		t.Fatalf("empty list = %v", got)
 	}
+}
+
+// smokeModel builds a servable model without fitting: rows scales factor 0
+// (and the .ptkm file) so the multi-tenant smoke gets tenants whose mapped
+// size dominates any serving-machinery heap noise.
+func smokeModel(tb testing.TB, seed int64, rows int) *core.Model {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ranks := []int{4, 3, 2}
+	dims := []int{rows, 256, 64}
+	factors := make([]*mat.Dense, len(dims))
+	for k, d := range dims {
+		data := make([]float64, d*ranks[k])
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		factors[k] = mat.NewDenseData(d, ranks[k], data)
+	}
+	g := core.NewRandomCore(ranks, rng)
+	g.FinalizeLayout()
+	return &core.Model{Factors: factors, Core: g, Config: core.Defaults(ranks)}
+}
+
+// TestMultiTenantSmoke is the multi-model CI gate: one registry process maps
+// three tenants lazily (two bare .ptkm files plus one durable directory),
+// heap stays far below the bytes served from mappings, a mixed load
+// round-robins across all tenants via the model header with zero errors, and
+// the merged /metrics exposition parses clean with per-model labels. CI runs
+// it for 30s via MULTITENANT_SMOKE_DURATION; the default keeps local
+// `go test` fast.
+func TestMultiTenantSmoke(t *testing.T) {
+	d := 2 * time.Second
+	if env := os.Getenv("MULTITENANT_SMOKE_DURATION"); env != "" {
+		parsed, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("MULTITENANT_SMOKE_DURATION=%q: %v", env, err)
+		}
+		d = parsed
+	}
+
+	// The bare-file tenants are big (their only heap cost should be serving
+	// machinery); the durable tenant is small because a durable start clones
+	// its model into the replay fitter, which is legitimate heap.
+	dir := t.TempDir()
+	for _, m := range []struct {
+		name string
+		rows int
+	}{{"alpha", 65536}, {"beta", 49152}} {
+		if err := core.SaveModel(filepath.Join(dir, m.name+".ptkm"), smokeModel(t, int64(m.rows), m.rows)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gdir := filepath.Join(dir, "gamma")
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveModel(filepath.Join(gdir, store.ModelFile), smokeModel(t, 3, 4096)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := serve.NewRegistry(serve.RegistryOptions{
+		ModelsDir: dir,
+		Base:      serve.Options{MaxBatch: 32, Mmap: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	names := []string{"alpha", "beta", "gamma"}
+
+	// Lazy first-touch: each read maps one more tenant, growing mapped bytes,
+	// while the Go heap must not grow with them — the models are served out
+	// of the mappings, not decoded onto the heap.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var lastMapped int64
+	for _, name := range names {
+		ok, _ := post(client, ts.URL+"/v1/predict", []byte(`{"index":[0,0,0]}`), "", name)
+		if !ok {
+			t.Fatalf("first-touch predict on %s failed", name)
+		}
+		if mapped := reg.MappedBytes(); mapped > 0 && mapped <= lastMapped {
+			t.Fatalf("mapped bytes did not grow loading %s: %d -> %d", name, lastMapped, mapped)
+		} else {
+			lastMapped = mapped
+		}
+	}
+	if mapped := reg.MappedBytes(); mapped > 0 {
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if heapDelta := int64(after.HeapAlloc) - int64(before.HeapAlloc); heapDelta > mapped/2 {
+			t.Errorf("heap grew %d bytes while mapping %d model bytes; zero-copy serving should not decode models onto the heap", heapDelta, mapped)
+		}
+		t.Logf("multi-tenant: %d bytes mapped across %d tenants", mapped, len(names))
+	}
+
+	rep, err := run(config{
+		Addr:      ts.URL,
+		Models:    names,
+		Conns:     8,
+		Duration:  d,
+		Mix:       "predict=8,batch=1,recommend=1,observe=1",
+		BatchSize: 8,
+		K:         5,
+		Seed:      1,
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("loadgen issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d of %d requests errored", rep.Errors, rep.Requests)
+	}
+	for _, name := range []string{"predict", "batch", "recommend", "observe"} {
+		if op := rep.Ops[name]; op == nil || op.Count == 0 {
+			t.Fatalf("op %q missing from the report: %+v", name, rep.Ops)
+		}
+	}
+
+	// The merged exposition must satisfy the same contract as a single
+	// server's (ParseExposition enforces it), carry the registry's own
+	// families, and label every tenant's samples with its model name.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("merged /metrics does not parse: %v", err)
+	}
+	for _, fam := range []string{
+		"ptucker_registry_models",
+		"ptucker_registry_models_loaded",
+		"ptucker_registry_evictions_total",
+		"ptucker_registry_mapped_bytes",
+		"ptucker_model_mapped_bytes",
+		"ptucker_requests_total",
+		"ptucker_request_duration_seconds",
+		"ptucker_goroutines",
+	} {
+		if fams[fam] == nil {
+			t.Errorf("merged /metrics: family %s missing", fam)
+		}
+	}
+	for _, name := range names {
+		if !strings.Contains(string(raw), `model="`+name+`"`) {
+			t.Errorf("merged /metrics has no samples labeled model=%q", name)
+		}
+	}
+	t.Logf("multi-tenant smoke: %d requests in %.1fs → %.0f QPS across %d models",
+		rep.Requests, rep.DurationSec, rep.QPS, len(names))
 }
 
 // TestLoadgenSmoke is the CI end-to-end gate: a sharded server over a tiny

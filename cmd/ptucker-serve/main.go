@@ -43,6 +43,17 @@
 // histograms, journal fsync/append latency, refit state gauges, and runtime
 // gauges — see the README's Observability section for the full reference.
 //
+// With -models-dir the process serves many named models at once: every
+// subdirectory holding a model.ptkm becomes a durable tenant (the
+// subdirectory is its data dir — journal, compactions, holdout.tns) and
+// every bare <name>.ptkm file a read-mostly tenant. Requests route by path
+// prefix (/m/<name>/v1/predict) or the X-Ptucker-Model header; tenants load
+// lazily on first touch and, with -mmap, serve straight from read-only file
+// mappings — -max-mapped-bytes bounds the total, evicting the least-
+// recently-touched tenant when crossed. GET /healthz lists every tenant's
+// load state and GET /metrics merges all loaded tenants' families under
+// per-model labels. -mmap also works in single-model mode.
+//
 // With -follow the process runs as a read replica instead: it bootstraps
 // its model from the primary at the given URL, tails the primary's journal
 // stream (GET /v1/journal), and replays every observation through the same
@@ -61,6 +72,8 @@
 //	    -auth-token $TOKEN -holdout test.tns
 //	ptucker-serve -follow http://primary:8080 -addr :8081 -data-dir ./replica \
 //	    -auth-token $TOKEN -max-lag 30s
+//	ptucker-serve -models-dir ./models -mmap -max-mapped-bytes 2147483648
+//	curl -s localhost:8080/m/movies/v1/predict -d '{"index":[3,7,1]}'
 //	curl -s localhost:8080/v1/predict -d '{"index":[3,7,1]}'
 //	curl -s localhost:8080/v1/recommend -d '{"query":[3,0,1],"mode":1,"k":10,"exclude":[7]}'
 //	curl -s localhost:8080/v1/observe -d '{"observations":[{"index":[50,7,1],"value":0.9}]}'
@@ -108,10 +121,13 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (access-log lines are debug)")
 		slowReq     = flag.Duration("slow-request", 0, "log requests slower than this at warn level with full detail (0 disables)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (guarded by -auth-token when set)")
+		mmapOn      = flag.Bool("mmap", false, "serve model files from read-only memory mappings (zero-copy open; pre-v4 files and non-unix builds fall back to the heap loader)")
+		modelsDir   = flag.String("models-dir", "", "multi-model mode: serve every model in this directory as a named tenant routed by /m/<name>/ or the X-Ptucker-Model header (subdirectories holding model.ptkm are durable tenants, bare <name>.ptkm files are read-mostly); excludes -model/-follow/-data-dir/-holdout/-watch")
+		maxMapped   = flag.Int64("max-mapped-bytes", 0, "evict least-recently-touched tenant models once total mapped bytes exceed this (0 = unbounded; needs -models-dir)")
 	)
 	flag.Parse()
-	if *follow == "" && *model == "" {
-		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required (or -follow to run as a replica)")
+	if *modelsDir == "" && *follow == "" && *model == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -model is required (or -follow to run as a replica, or -models-dir for multi-model serving)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -156,8 +172,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptucker-serve: -max-lag needs -follow")
 		os.Exit(2)
 	}
+	if *maxMapped > 0 && *modelsDir == "" {
+		fmt.Fprintln(os.Stderr, "ptucker-serve: -max-mapped-bytes needs -models-dir")
+		os.Exit(2)
+	}
+	if *modelsDir != "" {
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"-model", *model != ""},
+			{"-follow", *follow != ""},
+			{"-data-dir", *dataDir != ""}, // per-tenant data dirs live inside -models-dir
+			{"-holdout", *holdout != ""},  // per-tenant holdouts live inside each tenant dir
+			{"-watch", *watch != 0},       // reload tenants via /m/<name>/v1/reload
+			{"-max-lag", *maxLag != 0},
+		}
+		for _, f := range incompatible {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "ptucker-serve: %s cannot be combined with -models-dir\n", f.name)
+				os.Exit(2)
+			}
+		}
+	}
 
-	s, err := serve.New(serve.Options{
+	base := serve.Options{
 		ModelPath:    *model,
 		Follow:       *follow,
 		MaxLag:       *maxLag,
@@ -177,37 +216,65 @@ func main() {
 		Logger:       logger,
 		SlowRequest:  *slowReq,
 		Pprof:        *pprofOn,
-	})
-	if err != nil {
-		logger.Error("startup failed", "error", err)
-		os.Exit(1)
-	}
-	if *dataDir != "" {
-		logger.Info("durable data dir open", "dir", *dataDir, "journal_sync", syncPolicy.Mode.String())
+		Mmap:         *mmapOn,
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Multi-model mode: one process, many named tenants, lazy loads, and an
+	// LRU mapped-bytes budget. Single-model lifecycle features that assume
+	// exactly one model (SIGHUP reload-all, -watch) stay out of this mode;
+	// each tenant reloads through its own /m/<name>/v1/reload.
+	var (
+		handler http.Handler
+		closeFn func()
+		s       *serve.Server // nil in multi-model mode
+	)
+	if *modelsDir != "" {
+		reg, err := serve.NewRegistry(serve.RegistryOptions{
+			ModelsDir:      *modelsDir,
+			MaxMappedBytes: *maxMapped,
+			Base:           base,
+		})
+		if err != nil {
+			logger.Error("startup failed", "error", err)
+			os.Exit(1)
+		}
+		handler, closeFn = reg.Handler(), reg.Close
+	} else {
+		srv, err := serve.New(base)
+		if err != nil {
+			logger.Error("startup failed", "error", err)
+			os.Exit(1)
+		}
+		s, handler, closeFn = srv, srv.Handler(), srv.Close
+		if *dataDir != "" {
+			logger.Info("durable data dir open", "dir", *dataDir, "journal_sync", syncPolicy.Mode.String())
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	// SIGHUP hot-reloads the -model file; the first SIGINT/SIGTERM drains
 	// the listener, a second one kills the process the usual way.
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	go func() {
-		for range hup {
-			if err := s.Reload(""); err != nil {
-				logger.Warn("SIGHUP reload failed", "error", err, "detail", "still serving the old model")
-				continue
+	if s != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := s.Reload(""); err != nil {
+					logger.Warn("SIGHUP reload failed", "error", err, "detail", "still serving the old model")
+					continue
+				}
+				logger.Info("SIGHUP reloaded model", "model", *model)
 			}
-			logger.Info("SIGHUP reloaded model", "model", *model)
-		}
-	}()
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// -watch: deploy-by-copying-a-file; the poller hot-reloads on mtime/size
 	// change with the same snapshot-swap discipline as /v1/reload and SIGHUP.
-	if *watch > 0 {
+	if *watch > 0 && s != nil {
 		go func() {
 			if err := s.WatchModel(ctx, *watch); err != nil && ctx.Err() == nil {
 				logger.Error("model watcher stopped", "error", err)
@@ -230,11 +297,14 @@ func main() {
 	}()
 
 	source := *model
-	if *follow != "" {
+	switch {
+	case *follow != "":
 		source = "replica of " + *follow
+	case *modelsDir != "":
+		source = "models dir " + *modelsDir
 	}
 	logger.Info("serving", "source", source, "addr", *addr,
-		"workers", *workers, "max_batch", *maxBatch, "shards", s.Shards(), "pprof", *pprofOn)
+		"workers", *workers, "max_batch", *maxBatch, "mmap", *mmapOn, "pprof", *pprofOn)
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener failed", "error", err)
@@ -244,6 +314,6 @@ func main() {
 	// to finish, then stop the coalescer — no handler is mid-submit when
 	// queued work is failed with ErrServerClosed.
 	<-shutdownDone
-	s.Close()
+	closeFn()
 	logger.Info("bye")
 }

@@ -14,6 +14,9 @@
 //     histogram, so the bucket bounds' unit is readable from the name;
 //   - carry a non-empty constant help string;
 //   - use a snake_case label name on the Vec variants.
+//
+// The same label contract applies to Expo.WithConstLabel, the multi-tenant
+// per-model stamp: its label name must be a constant snake_case identifier.
 package metricnames
 
 import (
@@ -93,6 +96,16 @@ func run(pass *analysis.Pass) error {
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
+			return true
+		}
+		// WithConstLabel stamps its label onto every sample the derived
+		// writer emits, so a malformed label name corrupts whole expositions
+		// at once — hold it to the same contract as vec labels.
+		if sel.Sel.Name == "WithConstLabel" && isExpoMethod(pass, sel) && len(call.Args) >= 1 {
+			if label, labelConst := constString(pass, call.Args[0]); !labelConst || !labelRE.MatchString(label) {
+				pass.Reportf(call.Args[0].Pos(),
+					"label name passed to Expo.WithConstLabel must be a constant snake_case identifier")
+			}
 			return true
 		}
 		kind, ok := methods[sel.Sel.Name]

@@ -59,6 +59,12 @@ func WriteMetrics(w io.Writer, served int64, rmse float64) {
 	e.HistogramVec("ptucker_wait_seconds", "Waits.", "Endpoint Name", emitHist) // want `metricnames: label name passed to Expo.HistogramVec must be a constant snake_case identifier`
 	e.Histogram("ptucker_io_seconds", "", h)                                    // want `metricnames: metric registered via Expo.Histogram needs a non-empty constant help string`
 
+	// Constant labels stamp every sample of a derived writer: same label
+	// contract as the Vec variants, checked at the derivation point.
+	e.WithConstLabel("model", "alpha").Counter("ptucker_tenant_requests_total", "Per-tenant requests.", served)
+	e.WithConstLabel("Model", "alpha")      // want `metricnames: label name passed to Expo.WithConstLabel must be a constant snake_case identifier`
+	e.WithConstLabel(runtimeName(), "busy") // want `metricnames: label name passed to Expo.WithConstLabel must be a constant snake_case identifier`
+
 	//ptlint:ignore metricnames legacy dashboard series kept until the Q3 dashboard migration
 	e.Counter("legacy_requests_total", "Legacy series.", served)
 }

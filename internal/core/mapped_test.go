@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"repro/internal/mat"
+)
+
+// alignedCopy returns b copied into 8-byte-aligned memory, the way an mmap
+// base address is always aligned; plain []byte test buffers may not be.
+func alignedCopy(b []byte) []byte {
+	buf := make([]uint64, (len(b)+7)/8+1)
+	out := unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), len(b))
+	copy(out, b)
+	return out
+}
+
+// syntheticModel builds a servable model without fitting: random finalized
+// core, random factors. Factor 0's data block exceeds a 4KiB page, so the
+// aliased value slices span page boundaries in the mapped file.
+func syntheticModel(tb testing.TB, seed int64, dims, ranks []int) *Model {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]*mat.Dense, len(dims))
+	for k, d := range dims {
+		data := make([]float64, d*ranks[k])
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		factors[k] = mat.NewDenseData(d, ranks[k], data)
+	}
+	g := NewRandomCore(ranks, rng)
+	g.FinalizeLayout()
+	return &Model{Factors: factors, Core: g, Config: Defaults(ranks)}
+}
+
+func encodeModel(tb testing.TB, m *Model) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return alignedCopy(buf.Bytes())
+}
+
+// The tentpole property: a mapped model predicts bit-identically to both the
+// in-memory original and the heap-decoded copy, with its bulk arrays
+// aliasing the mapping rather than the heap.
+func TestModelFromMappingBitIdenticalAndZeroCopy(t *testing.T) {
+	dims := []int{600, 50, 40} // factor 0 data = 600·4·8 B ≫ one 4KiB page
+	m := syntheticModel(t, 7, dims, []int{4, 3, 2})
+	data := encodeModel(t, m)
+
+	heap, err := ReadModel(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ModelFromMapping(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	idx := make([]int, len(dims))
+	for i := 0; i < 500; i++ {
+		for k, d := range dims {
+			idx[k] = rng.Intn(d)
+		}
+		want := m.Predict(idx)
+		if got := mapped.Predict(idx); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("mapped prediction at %v = %v, original %v", idx, got, want)
+		}
+		if got := heap.Predict(idx); math.Float64bits(got) != math.Float64bits(mapped.Predict(idx)) {
+			t.Fatalf("heap and mapped predictions differ at %v", idx)
+		}
+	}
+
+	// Zero-copy: the factor data and core arrays must point into data, not
+	// onto the heap.
+	base := uintptr(unsafe.Pointer(&data[0]))
+	end := base + uintptr(len(data))
+	within := func(p unsafe.Pointer) bool {
+		u := uintptr(p)
+		return u >= base && u < end
+	}
+	for k, a := range mapped.Factors {
+		if len(a.Data()) > 0 && !within(unsafe.Pointer(&a.Data()[0])) {
+			t.Fatalf("factor %d data does not alias the mapping", k)
+		}
+	}
+	if !within(unsafe.Pointer(&mapped.Core.val[0])) || !within(unsafe.Pointer(&mapped.Core.idx[0])) {
+		t.Fatal("core entries do not alias the mapping")
+	}
+
+	// Everything the heap reader reconstructs, the mapped reader must too.
+	if mapped.Config.Seed != m.Config.Seed || mapped.Config.Lambda != m.Config.Lambda {
+		t.Fatalf("config changed: %+v vs %+v", mapped.Config, m.Config)
+	}
+	if mapped.Core.NNZ() != m.Core.NNZ() || !mapped.Core.Finalized() {
+		t.Fatalf("core nnz %d (finalized %v), want %d finalized",
+			mapped.Core.NNZ(), mapped.Core.Finalized(), m.Core.NNZ())
+	}
+}
+
+// Pre-v4 streams (no aligned blocks, u32 indices) are the heap decoder's
+// job: the mapper must say ErrNotMappable, not misparse.
+func TestModelFromMappingRejectsOldVersions(t *testing.T) {
+	m, _ := fittedModel(t, 11)
+	m.Core.groupOff = nil
+	var buf bytes.Buffer
+	if err := writeModelV1(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ModelFromMapping(alignedCopy(buf.Bytes())); !errorIs(err, ErrNotMappable) {
+		t.Fatalf("v1 stream: err = %v, want ErrNotMappable", err)
+	}
+}
+
+func TestModelFromMappingRejectsMisalignedBase(t *testing.T) {
+	m := syntheticModel(t, 9, []int{20, 16, 12}, []int{2, 2, 2})
+	data := encodeModel(t, m)
+	shifted := alignedCopy(append(make([]byte, 1), data...))[1:]
+	if uintptr(unsafe.Pointer(&shifted[0]))&7 == 0 {
+		t.Fatal("test bug: shifted buffer still aligned")
+	}
+	if _, err := ModelFromMapping(shifted); !errorIs(err, ErrNotMappable) {
+		t.Fatalf("misaligned base: err = %v, want ErrNotMappable", err)
+	}
+}
+
+// A truncated mapping — the tail cut off, or bytes missing from the middle
+// with the footer intact — must be rejected, never parsed past its end.
+func TestModelFromMappingTruncated(t *testing.T) {
+	m := syntheticModel(t, 10, []int{64, 48, 32}, []int{3, 3, 3})
+	data := encodeModel(t, m)
+
+	for _, cut := range []int{1, 4, footerSize, footerSize + 4, len(data) / 2} {
+		if _, err := ModelFromMapping(alignedCopy(data[:len(data)-cut])); err == nil {
+			t.Fatalf("mapping truncated by %d bytes was accepted", cut)
+		}
+	}
+	// Middle excision keeps the footer but desyncs everything behind it.
+	mid := append([]byte(nil), data[:1024]...)
+	mid = append(mid, data[1024+64:]...)
+	if _, err := ModelFromMapping(alignedCopy(mid)); err == nil {
+		t.Fatal("mapping with 64 bytes excised mid-stream was accepted")
+	}
+}
+
+// writeModelV4Lying re-encodes m in the v4 layout with both CRCs computed
+// over the stream as written, but with one length field inflated by lie —
+// the "checksums say fine, lengths say otherwise" attack the mapper's
+// bounds checks must stop. field is "nnz" or "rows".
+func writeModelV4Lying(tb testing.TB, m *Model, field string, lie uint64) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	cw := &countingWriter{w: &buf}
+	crc := crc32.NewIEEE()
+	metaCRC := crc32.NewIEEE()
+	bw := &binWriter{
+		w:   io.MultiWriter(cw, crc, metaCRC),
+		blk: io.MultiWriter(cw, crc),
+	}
+	pad := func() {
+		if p := int(-cw.n & 7); p > 0 {
+			var zeros [8]byte
+			bw.write(zeros[:p])
+		}
+	}
+
+	bw.write([]byte(modelMagic))
+	bw.write(uint32(modelVersion))
+	c := m.Config
+	bw.writeInts(c.Ranks)
+	bw.write(c.Lambda)
+	bw.write(int64(c.MaxIters))
+	bw.write(c.Tol)
+	bw.write(int64(c.Threads))
+	bw.write(int64(c.Method))
+	bw.write(c.TruncationRate)
+	bw.write(int64(c.Scheduling))
+	bw.write(c.Seed)
+	bw.write(boolByte(c.UpdateCore))
+	bw.write(int64(c.ChunkSize))
+	bw.write(c.SampleRate)
+	bw.write(c.Sparsify)
+
+	bw.write(uint64(len(m.Factors)))
+	for k, a := range m.Factors {
+		rows := uint64(a.Rows())
+		if field == "rows" && k == 0 {
+			rows += lie
+		}
+		bw.write(rows)
+		bw.write(uint64(a.Cols()))
+		pad()
+		bw.writeBlock(a.Data()) // the true data: fewer bytes than claimed
+	}
+
+	g := m.Core
+	var flags uint8
+	if g.Finalized() {
+		flags |= coreFlagFinalized
+	}
+	bw.write(flags)
+	bw.writeInts(g.dims)
+	nnz := uint64(g.NNZ())
+	if field == "nnz" {
+		nnz += lie
+	}
+	bw.write(nnz)
+	pad()
+	bw.writeIntsAsI64Block(g.idx)
+	bw.writeBlock(g.val)
+
+	bw.write(uint64(len(m.Trace)))
+	for _, it := range m.Trace {
+		bw.write(int64(it.Iter))
+		bw.write(it.Error)
+		bw.write(int64(it.Elapsed))
+		bw.write(int64(it.CoreNNZ))
+	}
+	bw.write(boolByte(m.Converged))
+	bw.write(m.TrainError)
+	bw.write(m.IntermediateBytes)
+	bw.write(int64(m.FinalCoreNNZ))
+	bw.write(uint64(len(m.WorkPerThread)))
+	bw.write(m.WorkPerThread)
+	if bw.err != nil {
+		tb.Fatal(bw.err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, crc.Sum32()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, metaCRC.Sum32()); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := cw.Write([]byte(footerMagic)); err != nil {
+		tb.Fatal(err)
+	}
+	return alignedCopy(buf.Bytes())
+}
+
+func TestModelFromMappingRejectsLyingLengths(t *testing.T) {
+	m := syntheticModel(t, 12, []int{40, 30, 20}, []int{3, 2, 2})
+	for _, field := range []string{"nnz", "rows"} {
+		for _, lie := range []uint64{1, 1000, 1 << 28} {
+			data := writeModelV4Lying(t, m, field, lie)
+			if _, err := ModelFromMapping(data); err == nil {
+				t.Fatalf("stream lying about %s by %d was accepted", field, lie)
+			}
+			// The heap decoder must refuse it too (its CRC covers the blocks).
+			if _, err := ReadModel(bytes.NewReader(data)); err == nil {
+				t.Fatalf("heap reader accepted stream lying about %s by %d", field, lie)
+			}
+		}
+	}
+	// Sanity: the lying encoder with no lie produces an accepted stream, so
+	// the rejections above are about the lie, not the encoder.
+	data := writeModelV4Lying(t, m, "none", 0)
+	if _, err := ModelFromMapping(data); err != nil {
+		t.Fatalf("truthful control stream rejected: %v", err)
+	}
+}
+
+// Flipping a metadata byte must trip the footer's metadata CRC even though
+// the mapper never hashes the bulk blocks.
+func TestModelFromMappingDetectsMetadataCorruption(t *testing.T) {
+	m := syntheticModel(t, 13, []int{30, 20, 10}, []int{2, 2, 2})
+	data := encodeModel(t, m)
+	flipped := alignedCopy(data)
+	flipped[9] ^= 0x01 // inside the config block
+	if _, err := ModelFromMapping(flipped); err == nil {
+		t.Fatal("metadata corruption went undetected")
+	}
+}
+
+// The mapper's open cost must not scale with factor bytes: its allocation
+// count is identical for a small and a 64x-larger model (the heap decoder's
+// grows with the data). This is the allocation face of the
+// BenchmarkMmapModelOpen acceptance criterion, stable enough to pin.
+func TestModelFromMappingAllocsIndependentOfSize(t *testing.T) {
+	small := encodeModel(t, syntheticModel(t, 14, []int{128, 16, 12}, []int{3, 2, 2}))
+	large := encodeModel(t, syntheticModel(t, 14, []int{8192, 1024, 12}, []int{3, 2, 2}))
+
+	mapOpens := func(data []byte) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := ModelFromMapping(data); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if s, l := mapOpens(small), mapOpens(large); s != l {
+		t.Fatalf("mapped open allocations scale with size: %v (small) vs %v (large)", s, l)
+	}
+}

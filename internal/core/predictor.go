@@ -63,6 +63,35 @@ func NewPredictor(m *Model) *Predictor {
 	return p
 }
 
+// NewPredictorShared builds a predictor that aliases the model's factors and
+// core instead of deep-copying them — the zero-copy path for models backed by
+// read-only file mappings, where a clone would pull the whole model onto the
+// heap and defeat the mapping. The predictor never writes through the model
+// (Predict/TopK only read factor rows and core entries), but the caller must
+// guarantee nothing else mutates the model while the predictor lives. The
+// serve layer satisfies this by construction: online fitting always resumes
+// from a clone (ResumeFitter, Fitter.Snapshot), never the served model.
+// Predictions are bit-identical to NewPredictor on the same model.
+func NewPredictorShared(m *Model) *Predictor {
+	order := len(m.Factors)
+	factors := make([]*mat.Dense, order)
+	dims := make([]int, order)
+	for k, a := range m.Factors {
+		factors[k] = a
+		dims[k] = a.Rows()
+	}
+	p := &Predictor{
+		factors: factors,
+		core:    m.Core,
+		dims:    dims,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	p.pool = &sync.Pool{New: func() interface{} {
+		return &predictScratch{rows: make([][]float64, order)}
+	}}
+	return p
+}
+
 // WithWorkers returns a predictor that uses n workers for PredictBatch
 // (n < 1 means serial). The returned predictor shares the immutable factor
 // and core snapshots — and the scratch pool — with the receiver, so deriving

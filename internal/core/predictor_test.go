@@ -37,6 +37,34 @@ func TestPredictorMatchesModelExactly(t *testing.T) {
 	}
 }
 
+// TestPredictorSharedBitIdentical pins the zero-copy contract: a predictor
+// that aliases the model's factors and core answers bit-for-bit like the
+// deep-copying one, and building it does not touch the model.
+func TestPredictorSharedBitIdentical(t *testing.T) {
+	m, p, idxs := predictorFixture(t)
+	shared := NewPredictorShared(m)
+	for k, a := range m.Factors {
+		if shared.factors[k] != a {
+			t.Fatalf("shared predictor cloned factor %d", k)
+		}
+	}
+	if shared.core != m.Core {
+		t.Fatal("shared predictor cloned the core")
+	}
+	for _, idx := range idxs {
+		want, got := p.Predict(idx), shared.Predict(idx)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("shared predictor diverges at %v: %v vs %v", idx, want, got)
+		}
+	}
+	batch, sharedBatch := p.PredictBatch(idxs), shared.PredictBatch(idxs)
+	for i := range batch {
+		if math.Float64bits(batch[i]) != math.Float64bits(sharedBatch[i]) {
+			t.Fatalf("shared batch diverges at %d: %v vs %v", i, batch[i], sharedBatch[i])
+		}
+	}
+}
+
 func TestPredictBatchMatchesSequential(t *testing.T) {
 	_, p, idxs := predictorFixture(t)
 	batch := p.PredictBatch(idxs)

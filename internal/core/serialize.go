@@ -22,9 +22,10 @@ import (
 // summary statistics — followed by a CRC-32 of the stream so truncation or
 // corruption is detected at load time rather than at serve time.
 //
-// Layout (version 3):
+// Layout (version 4):
 //
-//	magic "PTKM" | version u32 | config | N factors | core | trace | summary | crc32 u32
+//	magic "PTKM" | version u32 | config | N factors | core | trace | summary |
+//	crc32 u32 | metaCRC u32 | footer "PTKX"
 //
 // Version history — all older streams remain readable:
 //
@@ -37,6 +38,18 @@ import (
 //     from). Dense cores carry the same dims/nnz/entries encoding as
 //     before, so a v2-era dense core round-trips bit-identically through
 //     the v3 record.
+//   - v4: the mmap layout. The three bulk blocks — each factor's row-major
+//     float64 data, the core index list, and the core value list — are
+//     preceded by zero padding to an 8-byte stream offset, and core indices
+//     are stored as int64 (v1..v3 used uint32), so on a 64-bit machine every
+//     block can be served as a []float64 / []int aliasing the file mapping
+//     directly. After the main CRC the stream carries a footer: a second
+//     CRC-32 covering only the non-block bytes (config, shapes, padding,
+//     trace, summary), then the 4-byte footer magic "PTKX". An mmap opener
+//     (ModelFromMapping) validates that metadata CRC plus the blocks'
+//     bounds, so open cost is O(metadata + core nnz), independent of the
+//     factor bytes that dominate a large model. Streaming readers simply
+//     stop after the main CRC and never see the footer.
 //
 // Float64 values are stored as their IEEE-754 bit patterns, which makes a
 // save/load round trip bit-identical: a loaded model's Predict returns
@@ -44,7 +57,15 @@ import (
 
 const (
 	modelMagic   = "PTKM"
-	modelVersion = 3
+	modelVersion = 4
+
+	// footerMagic closes a v4+ stream, after the metadata CRC. Its presence
+	// at the end of a file is how the mmap opener recognizes a mappable
+	// stream without parsing forward.
+	footerMagic = "PTKX"
+
+	// footerSize is the v4 trailer past the main CRC: metaCRC u32 + magic.
+	footerSize = 4 + len(footerMagic)
 
 	// maxModelSlice bounds every length prefix read from a model stream so a
 	// corrupted or hostile file cannot claim an absurd element count.
@@ -88,8 +109,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // binWriter writes fixed-size little-endian values with a sticky error, so
 // the encoder reads as a flat field list instead of an error-check ladder.
+// Metadata goes through w; the bulk blocks (factor data, core indices, core
+// values) go through blk when set, which lets WriteTo keep them out of the
+// v4 metadata CRC.
 type binWriter struct {
 	w   io.Writer
+	blk io.Writer
 	err error
 }
 
@@ -100,11 +125,50 @@ func (b *binWriter) write(v interface{}) {
 	b.err = binary.Write(b.w, binary.LittleEndian, v)
 }
 
+// writeBlock writes v through the block writer (falling back to the
+// metadata writer, for encoders that predate the split).
+func (b *binWriter) writeBlock(v interface{}) {
+	if b.err != nil {
+		return
+	}
+	w := b.blk
+	if w == nil {
+		w = b.w
+	}
+	b.err = binary.Write(w, binary.LittleEndian, v)
+}
+
+// writeIntsAsI64Block writes xs as an int64 block (no length prefix) in
+// bounded chunks.
+func (b *binWriter) writeIntsAsI64Block(xs []int) {
+	buf := make([]int64, 0, min(len(xs), readChunk))
+	for start := 0; start < len(xs) && b.err == nil; start += readChunk {
+		buf = buf[:0]
+		for _, x := range xs[start:min(start+readChunk, len(xs))] {
+			buf = append(buf, int64(x))
+		}
+		b.writeBlock(buf)
+	}
+}
+
 func (b *binWriter) writeInts(xs []int) {
 	b.write(uint64(len(xs)))
 	for _, x := range xs {
 		b.write(int64(x))
 	}
+}
+
+// countingReader tracks the number of bytes consumed from r, so the v4
+// decoder knows its stream offset and can skip alignment padding.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // binReader mirrors binWriter for decoding.
@@ -183,8 +247,29 @@ func (b *binReader) readInt64s(n int) []int64 {
 	return out
 }
 
-// readU32sAsInts reads n uint32 values (the core index encoding) in bounded
-// chunks, widening to int.
+// readI64sAsInts reads n int64 values (the v4 core index encoding) in
+// bounded chunks, narrowing to int.
+func (b *binReader) readI64sAsInts(n int) []int {
+	out := make([]int, 0, min(n, readChunk))
+	for len(out) < n && b.err == nil {
+		c := min(n-len(out), readChunk)
+		buf := make([]int64, c)
+		b.read(buf)
+		if b.err != nil {
+			break
+		}
+		for _, v := range buf {
+			out = append(out, int(v))
+		}
+	}
+	if b.err != nil {
+		return nil
+	}
+	return out
+}
+
+// readU32sAsInts reads n uint32 values (the v1..v3 core index encoding) in
+// bounded chunks, widening to int.
 func (b *binReader) readU32sAsInts(n int) []int {
 	out := make([]int, 0, min(n, readChunk))
 	for len(out) < n && b.err == nil {
@@ -209,7 +294,20 @@ func (b *binReader) readU32sAsInts(n int) []int {
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
 	crc := crc32.NewIEEE()
-	bw := &binWriter{w: io.MultiWriter(cw, crc)}
+	metaCRC := crc32.NewIEEE()
+	bw := &binWriter{
+		w:   io.MultiWriter(cw, crc, metaCRC),
+		blk: io.MultiWriter(cw, crc),
+	}
+	// pad advances the stream to the next 8-byte offset with zero bytes, so
+	// the block that follows can be aliased in place by the mmap reader. The
+	// padding is metadata: both CRCs cover it.
+	pad := func() {
+		if p := int(-cw.n & 7); p > 0 && bw.err == nil {
+			var zeros [8]byte
+			bw.write(zeros[:p])
+		}
+	}
 
 	bw.write([]byte(modelMagic))
 	bw.write(uint32(modelVersion))
@@ -230,17 +328,21 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw.write(c.SampleRate)
 	bw.write(c.Sparsify) // v3 (SparsifyHoldout is fit-time input, not data)
 
-	// Factor matrices A(1)..A(N).
+	// Factor matrices A(1)..A(N), each data block padded to an 8-byte
+	// stream offset (v4).
 	bw.write(uint64(len(m.Factors)))
 	for _, a := range m.Factors {
 		bw.write(uint64(a.Rows()))
 		bw.write(uint64(a.Cols()))
-		bw.write(a.Data())
+		pad()
+		bw.writeBlock(a.Data())
 	}
 
 	// Core tensor: flags (v3), dims, then the live entry list. A finalized
 	// core's entries are already offset-sorted; the flag lets the reader
-	// verify that and rebuild the group index without re-sorting.
+	// verify that and rebuild the group index without re-sorting. v4 stores
+	// indices as int64 in one aligned block (the value block that follows is
+	// a whole number of 8-byte words, so one pad aligns both).
 	g := m.Core
 	var flags uint8
 	if g.Finalized() {
@@ -249,10 +351,9 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw.write(flags)
 	bw.writeInts(g.dims)
 	bw.write(uint64(g.NNZ()))
-	for _, i := range g.idx {
-		bw.write(uint32(i))
-	}
-	bw.write(g.val)
+	pad()
+	bw.writeIntsAsI64Block(g.idx)
+	bw.writeBlock(g.val)
 
 	// Per-iteration trace.
 	bw.write(uint64(len(m.Trace)))
@@ -278,6 +379,15 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(cw, binary.LittleEndian, crc.Sum32()); err != nil {
 		return cw.n, err
 	}
+	// v4 footer: the metadata-only CRC plus the footer magic. Streaming
+	// readers stop at the main CRC and never consume these bytes; the mmap
+	// opener starts from them.
+	if err := binary.Write(cw, binary.LittleEndian, metaCRC.Sum32()); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte(footerMagic)); err != nil {
+		return cw.n, err
+	}
 	return cw.n, nil
 }
 
@@ -287,7 +397,8 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 // the saved model's exactly. The decoded Config has a nil OnIteration hook.
 func ReadModel(r io.Reader) (*Model, error) {
 	crc := crc32.NewIEEE()
-	br := &binReader{r: io.TeeReader(r, crc)}
+	cr := &countingReader{r: r}
+	br := &binReader{r: io.TeeReader(cr, crc)}
 
 	magic := make([]byte, len(modelMagic))
 	br.read(magic)
@@ -298,6 +409,22 @@ func ReadModel(r io.Reader) (*Model, error) {
 	br.read(&version)
 	if br.err == nil && (version < 1 || version > modelVersion) {
 		return nil, fmt.Errorf("%w: got v%d, want v1..v%d", ErrModelVersion, version, modelVersion)
+	}
+	// pad consumes the v4 alignment padding before a block, requiring the
+	// bytes to be zero (anything else is not a stream WriteTo produced).
+	pad := func(before string) {
+		if version < 4 || br.err != nil {
+			return
+		}
+		if p := int(-cr.n & 7); p > 0 {
+			zeros := make([]byte, p)
+			br.read(zeros)
+			for _, z := range zeros {
+				if br.err == nil && z != 0 {
+					br.err = fmt.Errorf("%w: nonzero padding before %s", ErrBadModelFormat, before)
+				}
+			}
+		}
 	}
 
 	var c Config
@@ -333,6 +460,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 			br.err = fmt.Errorf("%w: factor %d shape %dx%d exceeds limit", ErrBadModelFormat, k, rows, cols)
 			break
 		}
+		pad("factor data")
 		data := br.readFloats(int(rows * cols))
 		if br.err == nil {
 			factors = append(factors, mat.NewDenseData(int(rows), int(cols), data))
@@ -354,7 +482,12 @@ func ReadModel(r io.Reader) (*Model, error) {
 			ErrBadModelFormat, order, nnz, nFactors)
 	}
 	if br.err == nil {
-		g.idx = br.readU32sAsInts(nnz * order)
+		pad("core indices")
+		if version >= 4 {
+			g.idx = br.readI64sAsInts(nnz * order)
+		} else {
+			g.idx = br.readU32sAsInts(nnz * order)
+		}
 		g.val = br.readFloats(nnz)
 	}
 
@@ -398,7 +531,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 
 	sum := crc.Sum32() // everything decoded so far; the trailer is outside the CRC
 	var want uint32
-	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
 		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadModelFormat, err)
 	}
 	if want != sum {

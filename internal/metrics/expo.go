@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Expo writes the Prometheus text exposition format (version 0.0.4). It is
@@ -21,10 +22,40 @@ import (
 // GaugeInt or Gauge (float, shortest round-trip formatting) per metric.
 type Expo struct {
 	w io.Writer
+	// constLabel, when non-empty, is a pre-formatted `name="value"` pair
+	// stamped onto every sample line (histogram series included). It is how
+	// a multi-tenant scrape distinguishes per-model samples of one family.
+	constLabel string
 }
 
 // NewExpo returns an exposition writer over w.
 func NewExpo(w io.Writer) *Expo { return &Expo{w: w} }
+
+// WithConstLabel returns an exposition writer over the same stream that
+// stamps label=value onto every sample it emits. The label name must obey
+// the same snake_case contract as vec labels; it must not collide with a
+// family's own label dimension.
+func (e *Expo) WithConstLabel(label, value string) *Expo {
+	return &Expo{w: e.w, constLabel: fmt.Sprintf("%s=%q", label, value)}
+}
+
+// labels renders the brace-wrapped label set for one sample: the constant
+// label (if any) joined with extra, a pre-formatted `name="value"` pair or
+// comma-joined list (may be empty). Unlabeled samples stay brace-free, which
+// keeps single-tenant output byte-identical to what it was before constant
+// labels existed.
+func (e *Expo) labels(extra string) string {
+	switch {
+	case e.constLabel == "" && extra == "":
+		return ""
+	case e.constLabel == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + e.constLabel + "}"
+	default:
+		return "{" + e.constLabel + "," + extra + "}"
+	}
+}
 
 func (e *Expo) header(name, help, kind string) {
 	fmt.Fprintf(e.w, "# HELP %s %s\n", name, help)
@@ -34,19 +65,19 @@ func (e *Expo) header(name, help, kind string) {
 // Counter emits one unlabeled counter.
 func (e *Expo) Counter(name, help string, value int64) {
 	e.header(name, help, "counter")
-	fmt.Fprintf(e.w, "%s %d\n", name, value)
+	fmt.Fprintf(e.w, "%s%s %d\n", name, e.labels(""), value)
 }
 
 // Gauge emits one unlabeled float gauge.
 func (e *Expo) Gauge(name, help string, value float64) {
 	e.header(name, help, "gauge")
-	fmt.Fprintf(e.w, "%s %g\n", name, value)
+	fmt.Fprintf(e.w, "%s%s %g\n", name, e.labels(""), value)
 }
 
 // GaugeInt emits one unlabeled integer gauge.
 func (e *Expo) GaugeInt(name, help string, value int64) {
 	e.header(name, help, "gauge")
-	fmt.Fprintf(e.w, "%s %d\n", name, value)
+	fmt.Fprintf(e.w, "%s%s %d\n", name, e.labels(""), value)
 }
 
 // CounterVec emits one counter family with a single label dimension: emit
@@ -56,7 +87,7 @@ func (e *Expo) GaugeInt(name, help string, value int64) {
 func (e *Expo) CounterVec(name, help, label string, emit func(sample func(labelValue string, value int64))) {
 	e.header(name, help, "counter")
 	emit(func(labelValue string, value int64) {
-		fmt.Fprintf(e.w, "%s{%s=%q} %d\n", name, label, labelValue, value)
+		fmt.Fprintf(e.w, "%s%s %d\n", name, e.labels(fmt.Sprintf("%s=%q", label, labelValue)), value)
 	})
 }
 
@@ -64,7 +95,7 @@ func (e *Expo) CounterVec(name, help, label string, emit func(sample func(labelV
 func (e *Expo) GaugeIntVec(name, help, label string, emit func(sample func(labelValue string, value int64))) {
 	e.header(name, help, "gauge")
 	emit(func(labelValue string, value int64) {
-		fmt.Fprintf(e.w, "%s{%s=%q} %d\n", name, label, labelValue, value)
+		fmt.Fprintf(e.w, "%s%s %d\n", name, e.labels(fmt.Sprintf("%s=%q", label, labelValue)), value)
 	})
 }
 
@@ -73,7 +104,7 @@ func (e *Expo) GaugeIntVec(name, help, label string, emit func(sample func(label
 // counters must use Counter to keep full int64 precision.
 func (e *Expo) CounterFloat(name, help string, value float64) {
 	e.header(name, help, "counter")
-	fmt.Fprintf(e.w, "%s %s\n", name, formatFloat(value))
+	fmt.Fprintf(e.w, "%s%s %s\n", name, e.labels(""), formatFloat(value))
 }
 
 // Histogram emits one unlabeled histogram: cumulative `_bucket` series per
@@ -102,17 +133,13 @@ func (e *Expo) histSeries(name, label, labelValue string, h *Histogram) {
 	var cum uint64
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
-		fmt.Fprintf(e.w, "%s_bucket{%sle=%q} %d\n", name, prefix, formatFloat(b), cum)
+		fmt.Fprintf(e.w, "%s_bucket%s %d\n", name, e.labels(prefix+fmt.Sprintf("le=%q", formatFloat(b))), cum)
 	}
 	cum += s.Counts[len(s.Bounds)]
-	fmt.Fprintf(e.w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum)
-	if label != "" {
-		fmt.Fprintf(e.w, "%s_sum{%s=%q} %s\n", name, label, labelValue, formatFloat(s.Sum))
-		fmt.Fprintf(e.w, "%s_count{%s=%q} %d\n", name, label, labelValue, cum)
-	} else {
-		fmt.Fprintf(e.w, "%s_sum %s\n", name, formatFloat(s.Sum))
-		fmt.Fprintf(e.w, "%s_count %d\n", name, cum)
-	}
+	fmt.Fprintf(e.w, "%s_bucket%s %d\n", name, e.labels(prefix+`le="+Inf"`), cum)
+	series := strings.TrimSuffix(prefix, ",")
+	fmt.Fprintf(e.w, "%s_sum%s %s\n", name, e.labels(series), formatFloat(s.Sum))
+	fmt.Fprintf(e.w, "%s_count%s %d\n", name, e.labels(series), cum)
 }
 
 // formatFloat renders a float with the shortest representation that round-

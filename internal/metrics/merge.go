@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Merger assembles one parse-clean exposition out of several independently
+// rendered fragments that may declare the same families. ParseExposition
+// (rightly) rejects a family declared twice, so a multi-tenant /metrics —
+// where every tenant renders the same ptucker_* families under its own
+// constant model label — cannot just concatenate per-tenant output. The
+// merger groups by family instead: each family's HELP/TYPE header is
+// emitted once, in first-seen order, with every fragment's sample lines
+// concatenated beneath it in Add order.
+type Merger struct {
+	order  []string
+	byName map[string]*mergedFamily
+}
+
+type mergedFamily struct {
+	help, kind string
+	samples    []string
+}
+
+// NewMerger returns an empty exposition merger.
+func NewMerger() *Merger {
+	return &Merger{byName: make(map[string]*mergedFamily)}
+}
+
+// Add folds one exposition fragment (as rendered by Expo) into the merger.
+// Fragments must be well-formed — every sample preceded by its family's
+// HELP and TYPE — and re-declarations of a family must agree on its type.
+func (m *Merger) Add(frag []byte) error {
+	var cur *mergedFamily
+	var pendingHelp string
+	var pendingName string
+	sc := bufio.NewScanner(bytes.NewReader(frag))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("metrics: merge: HELP without text: %q", line)
+			}
+			pendingName, pendingHelp = name, help
+			cur = nil
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || parts[0] != pendingName {
+				return fmt.Errorf("metrics: merge: TYPE not paired with HELP: %q", line)
+			}
+			fam := m.byName[pendingName]
+			if fam == nil {
+				fam = &mergedFamily{help: pendingHelp, kind: parts[1]}
+				m.byName[pendingName] = fam
+				m.order = append(m.order, pendingName)
+			} else if fam.kind != parts[1] {
+				return fmt.Errorf("metrics: merge: family %s declared as %s and %s",
+					pendingName, fam.kind, parts[1])
+			}
+			cur = fam
+			pendingName, pendingHelp = "", ""
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			if cur == nil {
+				return fmt.Errorf("metrics: merge: sample before any family header: %q", line)
+			}
+			cur.samples = append(cur.samples, line)
+		}
+	}
+	return sc.Err()
+}
+
+// WriteTo renders the merged exposition: families in first-seen order, each
+// declared once.
+func (m *Merger) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, name := range m.order {
+		fam := m.byName[name]
+		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, fam.help, name, fam.kind)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+		for _, s := range fam.samples {
+			c, err := fmt.Fprintln(w, s)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderTenant renders a representative family mix the way one registry
+// tenant does: a constant model label on every sample, including histogram
+// series.
+func renderTenant(t *testing.T, model string, reqs int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewExpo(&buf).WithConstLabel("model", model)
+	e.Counter("ptucker_requests_total", "Requests served.", reqs)
+	e.GaugeInt("ptucker_model_core_nnz", "Live core entries.", 42)
+	e.CounterVec("ptucker_responses_total", "Responses by endpoint.", "endpoint",
+		func(sample func(string, int64)) {
+			sample("predict", reqs-1)
+			sample("recommend", 1)
+		})
+	h := NewHistogram(ExponentialBounds(0.001, 2, 4))
+	h.Observe(0.002)
+	h.Observe(0.005)
+	e.Histogram("ptucker_request_duration_seconds", "Request latency.", h)
+	return buf.Bytes()
+}
+
+func TestWithConstLabelStampsEverySample(t *testing.T) {
+	out := string(renderTenant(t, "alpha", 7))
+	for _, want := range []string{
+		`ptucker_requests_total{model="alpha"} 7`,
+		`ptucker_model_core_nnz{model="alpha"} 42`,
+		`ptucker_responses_total{model="alpha",endpoint="predict"} 6`,
+		`ptucker_request_duration_seconds_bucket{model="alpha",le="0.001"} 0`,
+		`ptucker_request_duration_seconds_bucket{model="alpha",le="+Inf"} 2`,
+		`ptucker_request_duration_seconds_sum{model="alpha"} 0.007`,
+		`ptucker_request_duration_seconds_count{model="alpha"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("const-labeled exposition does not parse: %v", err)
+	}
+}
+
+// Without a constant label the writer's output must be byte-identical to
+// the pre-const-label format: no stray braces on unlabeled samples.
+func TestExpoUnlabeledOutputUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	e.Counter("ptucker_requests_total", "Requests served.", 3)
+	h := NewHistogram([]float64{0.1})
+	h.Observe(0.05)
+	e.Histogram("ptucker_request_duration_seconds", "Latency.", h)
+	want := "# HELP ptucker_requests_total Requests served.\n" +
+		"# TYPE ptucker_requests_total counter\n" +
+		"ptucker_requests_total 3\n" +
+		"# HELP ptucker_request_duration_seconds Latency.\n" +
+		"# TYPE ptucker_request_duration_seconds histogram\n" +
+		"ptucker_request_duration_seconds_bucket{le=\"0.1\"} 1\n" +
+		"ptucker_request_duration_seconds_bucket{le=\"+Inf\"} 1\n" +
+		"ptucker_request_duration_seconds_sum 0.05\n" +
+		"ptucker_request_duration_seconds_count 1\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("unlabeled exposition changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The registry's scrape shape: several tenants rendering the same families
+// merge into one exposition that declares each family once and still
+// parses clean under the full contract.
+func TestMergerCombinesTenantsParseClean(t *testing.T) {
+	m := NewMerger()
+	var reg bytes.Buffer
+	NewExpo(&reg).GaugeInt("ptucker_registry_models", "Models discovered.", 3)
+	if err := m.Add(reg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		if err := m.Add(renderTenant(t, name, int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	if _, err := m.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if n := strings.Count(text, "# TYPE ptucker_requests_total counter"); n != 1 {
+		t.Fatalf("family declared %d times, want once:\n%s", n, text)
+	}
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v\n%s", err, text)
+	}
+	if f := fams["ptucker_requests_total"]; f == nil || f.Samples != 3 {
+		t.Fatalf("ptucker_requests_total: %+v, want 3 samples", f)
+	}
+	if f := fams["ptucker_registry_models"]; f == nil || f.Samples != 1 {
+		t.Fatalf("ptucker_registry_models: %+v, want 1 sample", f)
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		if !strings.Contains(text, `model="`+name+`"`) {
+			t.Fatalf("merged exposition lost tenant %s", name)
+		}
+	}
+}
+
+func TestMergerRejectsTypeConflict(t *testing.T) {
+	m := NewMerger()
+	var a, b bytes.Buffer
+	NewExpo(&a).Counter("ptucker_widgets_total", "Widgets.", 1)
+	NewExpo(&b).GaugeInt("ptucker_widgets_total", "Widgets.", 1)
+	if err := m.Add(a.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(b.Bytes()); err == nil {
+		t.Fatal("conflicting family types merged silently")
+	}
+}

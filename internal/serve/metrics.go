@@ -148,120 +148,136 @@ func (m *metrics) errors(endpoint string) *atomic.Int64 {
 // handler renders the counters in the Prometheus text exposition format,
 // plus gauges describing the current snapshot. depths samples the coalescer
 // shards' queue lengths (nil when coalescing is disabled); repl samples the
-// replication role and progress.
-func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func() replSample) http.HandlerFunc {
+// replication role and progress; mapped samples the bytes of model files
+// served from memory mappings.
+func (m *metrics) handler(snap func() *snapshot, depths func() []int, repl func() replSample, mapped func() int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		m.init()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		e := expo.NewExpo(w)
+		m.render(e, snap, depths, repl, mapped)
+		renderRuntime(e)
+	}
+}
 
-		labels := append([]string(nil), endpoints...)
-		sort.Strings(labels)
-		byEndpoint := func(counters map[string]*atomic.Int64) func(func(string, int64)) {
+// render writes every server-scoped family into e — all the counters,
+// histograms, and model gauges, but not the process-wide runtime block.
+// The split is what multi-model serving builds on: a registry renders each
+// tenant through render under its own constant model label, then appends
+// the runtime families once for the whole process (see registry.go).
+func (m *metrics) render(e *expo.Expo, snap func() *snapshot, depths func() []int, repl func() replSample, mapped func() int64) {
+	m.init()
+
+	labels := append([]string(nil), endpoints...)
+	sort.Strings(labels)
+	byEndpoint := func(counters map[string]*atomic.Int64) func(func(string, int64)) {
+		return func(sample func(string, int64)) {
+			for _, l := range labels {
+				sample(l, counters[l].Load())
+			}
+		}
+	}
+	e.CounterVec("ptucker_requests_total", "Requests received, by endpoint.", "endpoint", byEndpoint(m.req))
+	e.CounterVec("ptucker_errors_total", "Requests answered with an error, by endpoint.", "endpoint", byEndpoint(m.errs))
+	histLabels := append([]string(nil), histEndpoints...)
+	sort.Strings(histLabels)
+	e.HistogramVec("ptucker_request_duration_seconds", "Wall-clock request latency, by endpoint.", "endpoint",
+		func(sample func(string, *expo.Histogram)) {
+			for _, l := range histLabels {
+				sample(l, m.reqDur[l])
+			}
+		})
+	e.Counter("ptucker_predictions_total", "Tensor cells scored across all paths.", m.predictions.Load())
+	e.Counter("ptucker_coalesced_batches_total", "Coalescer flushes executed.", m.flushes.Load())
+	e.Counter("ptucker_coalesced_predictions_total", "Single predictions served through the coalescer.", m.coalesced.Load())
+	if len(m.shardFlushes) > 0 {
+		byShard := func(counters []atomic.Int64) func(func(string, int64)) {
 			return func(sample func(string, int64)) {
-				for _, l := range labels {
-					sample(l, counters[l].Load())
+				for i := range counters {
+					sample(strconv.Itoa(i), counters[i].Load())
 				}
 			}
 		}
-		e.CounterVec("ptucker_requests_total", "Requests received, by endpoint.", "endpoint", byEndpoint(m.req))
-		e.CounterVec("ptucker_errors_total", "Requests answered with an error, by endpoint.", "endpoint", byEndpoint(m.errs))
-		histLabels := append([]string(nil), histEndpoints...)
-		sort.Strings(histLabels)
-		e.HistogramVec("ptucker_request_duration_seconds", "Wall-clock request latency, by endpoint.", "endpoint",
-			func(sample func(string, *expo.Histogram)) {
-				for _, l := range histLabels {
-					sample(l, m.reqDur[l])
+		e.CounterVec("ptucker_shard_flushes_total", "Coalescer flushes executed, by dispatcher shard.", "shard", byShard(m.shardFlushes))
+		e.CounterVec("ptucker_shard_coalesced_total", "Single predictions coalesced, by dispatcher shard.", "shard", byShard(m.shardCoalesced))
+		byShardHist := func(hists []*expo.Histogram) func(func(string, *expo.Histogram)) {
+			return func(sample func(string, *expo.Histogram)) {
+				for i := range hists {
+					sample(strconv.Itoa(i), hists[i])
+				}
+			}
+		}
+		e.HistogramVec("ptucker_coalescer_flush_size", "Predictions scored per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushSize))
+		e.HistogramVec("ptucker_coalescer_flush_duration_seconds", "Wall-clock seconds per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushDur))
+	}
+	if depths != nil {
+		e.GaugeIntVec("ptucker_shard_queue_depth", "Queued predictions awaiting a flush, by dispatcher shard (sampled).", "shard",
+			func(sample func(string, int64)) {
+				for i, d := range depths() {
+					sample(strconv.Itoa(i), int64(d))
 				}
 			})
-		e.Counter("ptucker_predictions_total", "Tensor cells scored across all paths.", m.predictions.Load())
-		e.Counter("ptucker_coalesced_batches_total", "Coalescer flushes executed.", m.flushes.Load())
-		e.Counter("ptucker_coalesced_predictions_total", "Single predictions served through the coalescer.", m.coalesced.Load())
-		if len(m.shardFlushes) > 0 {
-			byShard := func(counters []atomic.Int64) func(func(string, int64)) {
-				return func(sample func(string, int64)) {
-					for i := range counters {
-						sample(strconv.Itoa(i), counters[i].Load())
-					}
-				}
-			}
-			e.CounterVec("ptucker_shard_flushes_total", "Coalescer flushes executed, by dispatcher shard.", "shard", byShard(m.shardFlushes))
-			e.CounterVec("ptucker_shard_coalesced_total", "Single predictions coalesced, by dispatcher shard.", "shard", byShard(m.shardCoalesced))
-			byShardHist := func(hists []*expo.Histogram) func(func(string, *expo.Histogram)) {
-				return func(sample func(string, *expo.Histogram)) {
-					for i := range hists {
-						sample(strconv.Itoa(i), hists[i])
-					}
-				}
-			}
-			e.HistogramVec("ptucker_coalescer_flush_size", "Predictions scored per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushSize))
-			e.HistogramVec("ptucker_coalescer_flush_duration_seconds", "Wall-clock seconds per coalescer flush, by dispatcher shard.", "shard", byShardHist(m.shardFlushDur))
-		}
-		if depths != nil {
-			e.GaugeIntVec("ptucker_shard_queue_depth", "Queued predictions awaiting a flush, by dispatcher shard (sampled).", "shard",
-				func(sample func(string, int64)) {
-					for i, d := range depths() {
-						sample(strconv.Itoa(i), int64(d))
-					}
-				})
-		}
-		e.Counter("ptucker_reloads_total", "Successful model reloads.", m.reloads.Load())
-		e.Counter("ptucker_observations_total", "Observations accepted via /v1/observe.", m.observations.Load())
-		e.Counter("ptucker_foldins_total", "New rows folded into the served model.", m.foldIns.Load())
-		e.Counter("ptucker_refits_total", "Background warm refits published.", m.refits.Load())
-		e.Counter("ptucker_refit_errors_total", "Background warm refits that failed.", m.refitErrors.Load())
-		e.GaugeInt("ptucker_refit_state", "Background refit lifecycle: 0 idle, 1 fitting, 2 publishing.", m.refitState.Load())
-		e.GaugeInt("ptucker_refit_iteration", "Latest ALS iteration completed by the in-flight (or last) background refit.", m.refitIter.Load())
-		e.Gauge("ptucker_refit_fit_error", "Training reconstruction error at the refit's latest completed iteration.", math.Float64frombits(m.refitFitError.Load()))
-		e.Gauge("ptucker_refit_last_duration_seconds", "Wall-clock seconds the last published background refit took.", math.Float64frombits(m.refitLastSecs.Load()))
-		e.Counter("ptucker_request_timeouts_total", "Requests cut off by the per-request timeout.", m.timeouts.Load())
-		e.Counter("ptucker_staged_observations_total", "Observations buffered in the staging queue while a refit ran.", m.stagedObservations.Load())
-		e.Counter("ptucker_journal_appends_total", "Observation batches journaled to the data directory.", m.journalAppends.Load())
-		e.Histogram("ptucker_journal_append_duration_seconds", "Wall-clock seconds per journal append (encode + write + any inline fsync).", m.journalAppendDur)
-		e.Histogram("ptucker_journal_fsync_duration_seconds", "Wall-clock seconds per journal fsync, across all sync policies.", m.journalFsyncDur)
-		e.Histogram("ptucker_foldin_duration_seconds", "Wall-clock seconds per cold-start fold-in solve on the live path.", m.foldInDur)
-		e.GaugeInt("ptucker_journal_replayed_records", "Journal records replayed at the last startup.", m.journalReplayed.Load())
-		e.Counter("ptucker_journal_compactions_total", "Journal compactions into model + training snapshots.", m.compactions.Load())
-		e.Counter("ptucker_journal_compaction_errors_total", "Compactions that failed (journal kept for replay).", m.compactionErrors.Load())
-		e.Counter("ptucker_rebase_errors_total", "Reload re-bases that failed to persist (data dir may restart pre-reload).", m.rebaseErrors.Load())
-		e.Counter("ptucker_auth_failures_total", "Mutating requests rejected for a missing or invalid bearer token.", m.authFailures.Load())
-		if rs := repl(); rs.role != "" {
-			switch rs.role {
-			case "primary":
-				e.GaugeInt("ptucker_journal_stream_clients", "Journal-stream polls currently held open by followers.", rs.streamClients)
-				e.Counter("ptucker_journal_stream_records_total", "Journal records shipped to followers.", m.streamRecords.Load())
-				e.Counter("ptucker_journal_stream_bytes_total", "Journal frame bytes shipped to followers.", m.streamBytes.Load())
-				e.Counter("ptucker_journal_bootstraps_served_total", "Bootstrap models shipped to followers.", m.bootstrapsServed.Load())
-				e.GaugeInt("ptucker_primary_applied_seq", "Highest journal sequence applied to the primary's model.", int64(rs.appliedSeq))
-			case "follower":
-				e.Gauge("ptucker_replica_lag_seconds", "Seconds since this replica last applied a record or confirmed being caught up.", rs.lagSeconds)
-				e.GaugeInt("ptucker_replica_applied_seq", "Highest primary journal sequence applied to this replica.", int64(rs.appliedSeq))
-				e.Counter("ptucker_replica_bootstraps_total", "Times this replica bootstrapped (or re-bootstrapped) from its primary.", m.replicaBootstraps.Load())
-				e.Counter("ptucker_replica_records_applied_total", "Primary journal records applied by this replica.", m.replicaRecords.Load())
-				e.Histogram("ptucker_replica_apply_duration_seconds", "Wall-clock seconds this replica spent journaling and applying one streamed record.", m.replicaApplyDur)
-				e.Counter("ptucker_replica_writes_rejected_total", "Write requests refused because this process is a read replica.", m.writesRejected.Load())
-			}
-		}
-		if m.holdoutSet.Load() {
-			e.Gauge("ptucker_holdout_rmse", "RMSE of the served model over the held-out set, re-scored after refits and reloads.", math.Float64frombits(m.holdoutRMSE.Load()))
-		}
-
-		s := snap()
-		e.GaugeInt("ptucker_model_loaded_timestamp_seconds", "Unix time the serving snapshot was installed.", s.loadedAt.Unix())
-		e.GaugeInt("ptucker_model_order", "Tensor order of the served model.", int64(s.order))
-		e.GaugeInt("ptucker_model_core_nnz", "Live core-tensor entries of the served model (drops under Approx truncation and Sparsify pruning).", int64(s.coreNNZ))
-
-		// Runtime introspection, sampled at scrape time.
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		e.GaugeInt("ptucker_goroutines", "Goroutines currently live in this process.", int64(runtime.NumGoroutine()))
-		e.GaugeInt("ptucker_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", int64(ms.HeapAlloc))
-		e.CounterFloat("ptucker_gc_pause_seconds_total", "Cumulative seconds the process spent in GC stop-the-world pauses.", float64(ms.PauseTotalNs)/1e9)
-		e.Counter("ptucker_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
 	}
+	e.Counter("ptucker_reloads_total", "Successful model reloads.", m.reloads.Load())
+	e.Counter("ptucker_observations_total", "Observations accepted via /v1/observe.", m.observations.Load())
+	e.Counter("ptucker_foldins_total", "New rows folded into the served model.", m.foldIns.Load())
+	e.Counter("ptucker_refits_total", "Background warm refits published.", m.refits.Load())
+	e.Counter("ptucker_refit_errors_total", "Background warm refits that failed.", m.refitErrors.Load())
+	e.GaugeInt("ptucker_refit_state", "Background refit lifecycle: 0 idle, 1 fitting, 2 publishing.", m.refitState.Load())
+	e.GaugeInt("ptucker_refit_iteration", "Latest ALS iteration completed by the in-flight (or last) background refit.", m.refitIter.Load())
+	e.Gauge("ptucker_refit_fit_error", "Training reconstruction error at the refit's latest completed iteration.", math.Float64frombits(m.refitFitError.Load()))
+	e.Gauge("ptucker_refit_last_duration_seconds", "Wall-clock seconds the last published background refit took.", math.Float64frombits(m.refitLastSecs.Load()))
+	e.Counter("ptucker_request_timeouts_total", "Requests cut off by the per-request timeout.", m.timeouts.Load())
+	e.Counter("ptucker_staged_observations_total", "Observations buffered in the staging queue while a refit ran.", m.stagedObservations.Load())
+	e.Counter("ptucker_journal_appends_total", "Observation batches journaled to the data directory.", m.journalAppends.Load())
+	e.Histogram("ptucker_journal_append_duration_seconds", "Wall-clock seconds per journal append (encode + write + any inline fsync).", m.journalAppendDur)
+	e.Histogram("ptucker_journal_fsync_duration_seconds", "Wall-clock seconds per journal fsync, across all sync policies.", m.journalFsyncDur)
+	e.Histogram("ptucker_foldin_duration_seconds", "Wall-clock seconds per cold-start fold-in solve on the live path.", m.foldInDur)
+	e.GaugeInt("ptucker_journal_replayed_records", "Journal records replayed at the last startup.", m.journalReplayed.Load())
+	e.Counter("ptucker_journal_compactions_total", "Journal compactions into model + training snapshots.", m.compactions.Load())
+	e.Counter("ptucker_journal_compaction_errors_total", "Compactions that failed (journal kept for replay).", m.compactionErrors.Load())
+	e.Counter("ptucker_rebase_errors_total", "Reload re-bases that failed to persist (data dir may restart pre-reload).", m.rebaseErrors.Load())
+	e.Counter("ptucker_auth_failures_total", "Mutating requests rejected for a missing or invalid bearer token.", m.authFailures.Load())
+	if rs := repl(); rs.role != "" {
+		switch rs.role {
+		case "primary":
+			e.GaugeInt("ptucker_journal_stream_clients", "Journal-stream polls currently held open by followers.", rs.streamClients)
+			e.Counter("ptucker_journal_stream_records_total", "Journal records shipped to followers.", m.streamRecords.Load())
+			e.Counter("ptucker_journal_stream_bytes_total", "Journal frame bytes shipped to followers.", m.streamBytes.Load())
+			e.Counter("ptucker_journal_bootstraps_served_total", "Bootstrap models shipped to followers.", m.bootstrapsServed.Load())
+			e.GaugeInt("ptucker_primary_applied_seq", "Highest journal sequence applied to the primary's model.", int64(rs.appliedSeq))
+		case "follower":
+			e.Gauge("ptucker_replica_lag_seconds", "Seconds since this replica last applied a record or confirmed being caught up.", rs.lagSeconds)
+			e.GaugeInt("ptucker_replica_applied_seq", "Highest primary journal sequence applied to this replica.", int64(rs.appliedSeq))
+			e.Counter("ptucker_replica_bootstraps_total", "Times this replica bootstrapped (or re-bootstrapped) from its primary.", m.replicaBootstraps.Load())
+			e.Counter("ptucker_replica_records_applied_total", "Primary journal records applied by this replica.", m.replicaRecords.Load())
+			e.Histogram("ptucker_replica_apply_duration_seconds", "Wall-clock seconds this replica spent journaling and applying one streamed record.", m.replicaApplyDur)
+			e.Counter("ptucker_replica_writes_rejected_total", "Write requests refused because this process is a read replica.", m.writesRejected.Load())
+		}
+	}
+	if m.holdoutSet.Load() {
+		e.Gauge("ptucker_holdout_rmse", "RMSE of the served model over the held-out set, re-scored after refits and reloads.", math.Float64frombits(m.holdoutRMSE.Load()))
+	}
+
+	s := snap()
+	e.GaugeInt("ptucker_model_loaded_timestamp_seconds", "Unix time the serving snapshot was installed.", s.loadedAt.Unix())
+	e.GaugeInt("ptucker_model_order", "Tensor order of the served model.", int64(s.order))
+	e.GaugeInt("ptucker_model_core_nnz", "Live core-tensor entries of the served model (drops under Approx truncation and Sparsify pruning).", int64(s.coreNNZ))
+	e.GaugeInt("ptucker_model_mapped_bytes", "Bytes of model files this server serves out of read-only memory mappings (0 when heap-loaded).", mapped())
+}
+
+// renderRuntime writes the process-wide runtime families, sampled at scrape
+// time. A single-tenant scrape appends them after render; a multi-tenant
+// scrape emits them once for the whole process, not once per model.
+func renderRuntime(e *expo.Expo) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.GaugeInt("ptucker_goroutines", "Goroutines currently live in this process.", int64(runtime.NumGoroutine()))
+	e.GaugeInt("ptucker_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", int64(ms.HeapAlloc))
+	e.CounterFloat("ptucker_gc_pause_seconds_total", "Cumulative seconds the process spent in GC stop-the-world pauses.", float64(ms.PauseTotalNs)/1e9)
+	e.Counter("ptucker_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
 }

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	expo "repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// registryDir lays out a models directory with two bare-file tenants and
+// one durable tenant, returning the directory and the in-memory models by
+// tenant name (for bit-identity checks).
+func registryDir(t *testing.T) (string, map[string]*core.Model) {
+	t.Helper()
+	dir := t.TempDir()
+	models := map[string]*core.Model{
+		"alpha": fitModel(t, 11),
+		"beta":  fitModel(t, 22),
+		"gamma": fitModel(t, 33),
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if err := core.SaveModel(filepath.Join(dir, name+".ptkm"), models[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gdir := filepath.Join(dir, "gamma")
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveModel(filepath.Join(gdir, store.ModelFile), models["gamma"]); err != nil {
+		t.Fatal(err)
+	}
+	return dir, models
+}
+
+func testRegistry(t *testing.T, opts RegistryOptions) (*Registry, *httptest.Server) {
+	t.Helper()
+	r, err := NewRegistry(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	return r, ts
+}
+
+func predictVia(t *testing.T, client func(body string) (int, []byte), idx []int) float64 {
+	t.Helper()
+	status, body := client(fmt.Sprintf(`{"index":[%d,%d,%d]}`, idx[0], idx[1], idx[2]))
+	if status != http.StatusOK {
+		t.Fatalf("predict %v: status %d: %s", idx, status, body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Value
+}
+
+// Both routing schemes reach the named tenant, and every prediction through
+// the registry is bit-identical to the tenant's own model.
+func TestRegistryRoutingBitIdentical(t *testing.T) {
+	dir, models := registryDir(t)
+	_, ts := testRegistry(t, RegistryOptions{ModelsDir: dir, Base: Options{Mmap: true}})
+
+	rng := rand.New(rand.NewSource(5))
+	for name, m := range models {
+		prefixed := func(body string) (int, []byte) {
+			return postJSON(t, ts.URL+"/m/"+name+"/v1/predict", body)
+		}
+		headered := func(body string) (int, []byte) {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(ModelHeader, name)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, raw
+		}
+		for i := 0; i < 20; i++ {
+			idx := []int{rng.Intn(20), rng.Intn(16), rng.Intn(12)}
+			want := m.Predict(idx)
+			if got := predictVia(t, prefixed, idx); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s prefixed predict %v: got %v want %v", name, idx, got, want)
+			}
+			if got := predictVia(t, headered, idx); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s header predict %v: got %v want %v", name, idx, got, want)
+			}
+		}
+	}
+
+	// Unknown and unroutable requests are refused, not misrouted.
+	if status, _ := postJSON(t, ts.URL+"/m/nope/v1/predict", `{"index":[1,2,3]}`); status != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/predict", `{"index":[1,2,3]}`); status != http.StatusNotFound {
+		t.Fatalf("no model named: status %d, want 404", status)
+	}
+}
+
+// /healthz reports every tenant without loading any; first traffic loads
+// lazily; a durable tenant journals into its own directory while bare-file
+// tenants answer the replication endpoints 503 (no journal to stream).
+func TestRegistryLazyLoadAndTenantIdentity(t *testing.T) {
+	dir, _ := registryDir(t)
+	r, ts := testRegistry(t, RegistryOptions{ModelsDir: dir, Base: Options{Mmap: true}})
+
+	var st registryStatus
+	getJSON(t, ts.URL+"/healthz", &st)
+	if len(st.Models) != 3 {
+		t.Fatalf("healthz models: %+v", st.Models)
+	}
+	for _, m := range st.Models {
+		if m.Loaded {
+			t.Fatalf("tenant %s loaded by a probe", m.Name)
+		}
+		if m.Durable != (m.Name == "gamma") {
+			t.Fatalf("tenant %s durable=%v", m.Name, m.Durable)
+		}
+	}
+
+	// First touch loads; observes land in gamma's own journal.
+	if status, body := postJSON(t, ts.URL+"/m/gamma/v1/observe",
+		`{"observations":[{"index":[1,2,3],"value":0.5}]}`); status != http.StatusOK {
+		t.Fatalf("observe gamma: %d %s", status, body)
+	}
+	getJSON(t, ts.URL+"/healthz", &st)
+	for _, m := range st.Models {
+		if m.Loaded != (m.Name == "gamma") {
+			t.Fatalf("after touching gamma: %s loaded=%v", m.Name, m.Loaded)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gamma", store.JournalFile)); err != nil {
+		t.Fatalf("gamma observe left no journal in its data dir: %v", err)
+	}
+
+	// A bare-file tenant has no journal: replication politely unavailable.
+	resp, err := http.Get(ts.URL + "/m/alpha/v1/journal?from=1&epoch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("journal stream on bare tenant: %d, want 503", resp.StatusCode)
+	}
+	_ = r
+}
+
+// A reload addressed to one tenant swaps that tenant only.
+func TestRegistryPerTenantReload(t *testing.T) {
+	dir, models := registryDir(t)
+	_, ts := testRegistry(t, RegistryOptions{ModelsDir: dir, Base: Options{Mmap: true}})
+
+	idx := []int{3, 4, 5}
+	alphaBefore := models["alpha"].Predict(idx)
+	betaBefore := models["beta"].Predict(idx)
+
+	// Swap beta's file for a different fit and reload only beta.
+	next := fitModel(t, 44)
+	nextPath := filepath.Join(dir, "next.ptkm")
+	if err := core.SaveModel(nextPath, next); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := postJSON(t, ts.URL+"/m/beta/v1/reload",
+		fmt.Sprintf(`{"model":%q}`, nextPath)); status != http.StatusOK {
+		t.Fatalf("reload beta: %d %s", status, body)
+	}
+
+	alphaClient := func(body string) (int, []byte) { return postJSON(t, ts.URL+"/m/alpha/v1/predict", body) }
+	betaClient := func(body string) (int, []byte) { return postJSON(t, ts.URL+"/m/beta/v1/predict", body) }
+	if got := predictVia(t, alphaClient, idx); math.Float64bits(got) != math.Float64bits(alphaBefore) {
+		t.Fatalf("alpha changed by beta's reload: %v vs %v", got, alphaBefore)
+	}
+	got := predictVia(t, betaClient, idx)
+	if math.Float64bits(got) != math.Float64bits(next.Predict(idx)) {
+		t.Fatalf("beta did not reload: %v", got)
+	}
+	if got == betaBefore {
+		t.Fatalf("reload fixture models predict identically; pick different seeds")
+	}
+}
+
+// The merged scrape parses clean, labels every tenant family with its model
+// name, emits registry-scoped families, and emits runtime families once.
+func TestRegistryMergedMetrics(t *testing.T) {
+	dir, _ := registryDir(t)
+	_, ts := testRegistry(t, RegistryOptions{ModelsDir: dir, Base: Options{Mmap: true}})
+
+	for _, name := range []string{"alpha", "gamma"} {
+		if status, body := postJSON(t, ts.URL+"/m/"+name+"/v1/predict", `{"index":[1,2,3]}`); status != http.StatusOK {
+			t.Fatalf("predict %s: %d %s", name, status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	fams, err := expo.ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("merged scrape does not parse: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"ptucker_registry_models", "ptucker_registry_models_loaded",
+		"ptucker_registry_evictions_total", "ptucker_registry_mapped_bytes",
+		"ptucker_requests_total", "ptucker_model_mapped_bytes", "ptucker_goroutines",
+	} {
+		if fams[want] == nil {
+			t.Errorf("merged scrape lacks family %s", want)
+		}
+	}
+	for _, name := range []string{"alpha", "gamma"} {
+		if !strings.Contains(text, `model="`+name+`"`) {
+			t.Errorf("no samples labeled model=%q", name)
+		}
+	}
+	if strings.Contains(text, `model="beta"`) {
+		t.Error("cold tenant beta appears in the scrape (scrapes must not cold-load)")
+	}
+	if n := strings.Count(text, "\nptucker_goroutines"); n != 1 {
+		t.Errorf("runtime gauge emitted %d times, want once", n)
+	}
+	if n := strings.Count(text, "# TYPE ptucker_requests_total counter"); n != 1 {
+		t.Errorf("family ptucker_requests_total declared %d times, want once", n)
+	}
+}
+
+// mappedTenantBytes probes whether this platform maps models at all and
+// how big one registry fixture model maps; eviction tests skip on
+// platforms where models heap-load (no mapped bytes to bound).
+func mappedTenantBytes(t *testing.T, path string) int64 {
+	t.Helper()
+	src, err := store.OpenModel(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if !src.Mapped() {
+		t.Skip("platform does not map models; no mapped-bytes budget to test")
+	}
+	return src.MappedBytes()
+}
+
+// Crossing the mapped-bytes budget evicts the least-recently-touched
+// tenant; the evicted tenant reloads transparently on its next touch.
+func TestRegistryEvictsLRU(t *testing.T) {
+	dir, _ := registryDir(t)
+	one := mappedTenantBytes(t, filepath.Join(dir, "alpha.ptkm"))
+
+	r, ts := testRegistry(t, RegistryOptions{
+		ModelsDir:      dir,
+		MaxMappedBytes: one + one/2, // one resident model, never two
+		Base:           Options{Mmap: true},
+	})
+
+	touch := func(name string) {
+		if status, body := postJSON(t, ts.URL+"/m/"+name+"/v1/predict", `{"index":[1,2,3]}`); status != http.StatusOK {
+			t.Fatalf("predict %s: %d %s", name, status, body)
+		}
+	}
+	touch("alpha")
+	touch("beta") // budget now exceeded: alpha is the LRU victim
+
+	var st registryStatus
+	getJSON(t, ts.URL+"/healthz", &st)
+	loaded := map[string]bool{}
+	for _, m := range st.Models {
+		loaded[m.Name] = m.Loaded
+	}
+	if loaded["alpha"] || !loaded["beta"] {
+		t.Fatalf("after eviction: %+v", loaded)
+	}
+	if r.evictions.Load() == 0 {
+		t.Fatal("no eviction counted")
+	}
+	if got := r.MappedBytes(); got > one+one/2 {
+		t.Fatalf("mapped bytes %d still over budget %d", got, one+one/2)
+	}
+
+	touch("alpha") // transparent reload; beta becomes the victim
+	getJSON(t, ts.URL+"/healthz", &st)
+	for _, m := range st.Models {
+		if m.Name == "alpha" && !m.Loaded {
+			t.Fatal("evicted tenant did not reload on touch")
+		}
+	}
+}
+
+// An eviction must wait for in-flight requests on the victim: while a
+// request holds the tenant read-locked, the mapping stays valid and serves
+// bit-correct predictions; the unmap happens only after release.
+func TestRegistryEvictionWaitsForInFlight(t *testing.T) {
+	dir, models := registryDir(t)
+	one := mappedTenantBytes(t, filepath.Join(dir, "alpha.ptkm"))
+
+	r, err := NewRegistry(RegistryOptions{
+		ModelsDir:      dir,
+		MaxMappedBytes: one + one/2,
+		Base:           Options{Mmap: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// In-flight request on alpha: acquire holds the tenant read lock
+	// exactly as serveTenant does for a live request.
+	h, release, err := r.acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaT := r.tenants["alpha"]
+
+	// Loading beta pushes the total over budget; its eviction pass blocks
+	// on alpha's write lock until our in-flight request releases.
+	betaDone := make(chan error, 1)
+	go func() {
+		_, rel, err := r.acquire("beta")
+		if err == nil {
+			rel()
+		}
+		betaDone <- err
+	}()
+
+	// While held: alpha stays loaded and its mapping serves correctly.
+	deadline := time.After(200 * time.Millisecond)
+	idx := []int{2, 3, 4}
+	want := models["alpha"].Predict(idx)
+	for {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict",
+			strings.NewReader(fmt.Sprintf(`{"index":[%d,%d,%d]}`, idx[0], idx[1], idx[2])))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("in-flight predict on eviction victim: %d %s", rec.Code, rec.Body)
+		}
+		var resp predictResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(resp.Value) != math.Float64bits(want) {
+			t.Fatalf("prediction changed under pending eviction: %v vs %v", resp.Value, want)
+		}
+		if !alphaT.loaded.Load() {
+			t.Fatal("alpha evicted while a request held it")
+		}
+		select {
+		case err := <-betaDone:
+			t.Fatalf("beta acquire finished while the victim was held in-flight: %v", err)
+		case <-deadline:
+		default:
+			continue
+		}
+		break
+	}
+
+	// Release the in-flight request: the blocked eviction proceeds, beta's
+	// acquire completes, and alpha ends up unloaded.
+	release()
+	if err := <-betaDone; err != nil {
+		t.Fatalf("beta load after release: %v", err)
+	}
+	waitFor(t, "victim unloaded after the in-flight request released", func() bool { return !alphaT.loaded.Load() })
+}

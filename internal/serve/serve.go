@@ -71,6 +71,12 @@ import (
 // after construction; the server swaps whole snapshots, never fields. The
 // model itself is retained (never mutated) so the online-learning path can
 // resume fitting from exactly what is being served.
+//
+// The predictor shares the model's factors and core rather than cloning them
+// (NewPredictorShared): every model a snapshot wraps is frozen — loaded from
+// a file, exported by Fitter.Snapshot, or handed over via Options.Model — so
+// the copy would buy nothing, and for mmap-backed models it would pull the
+// whole file onto the heap and defeat zero-copy serving.
 type snapshot struct {
 	model    *core.Model
 	pred     *core.Predictor
@@ -83,7 +89,7 @@ type snapshot struct {
 }
 
 func newSnapshot(m *core.Model, path string, workers int, now time.Time) *snapshot {
-	p := core.NewPredictor(m)
+	p := core.NewPredictorShared(m)
 	if workers > 0 {
 		p = p.WithWorkers(workers)
 	}
@@ -105,7 +111,9 @@ type Options struct {
 	// reloads. Required unless Model is set.
 	ModelPath string
 	// Model, when non-nil, is served directly (tests, embedded use);
-	// ModelPath then only names the default reload source.
+	// ModelPath then only names the default reload source. The server takes
+	// ownership: the caller must not mutate the model after New (the serving
+	// snapshot aliases it, and online fitting resumes from it).
 	Model *core.Model
 	// Workers is the PredictBatch fan-out (0 = GOMAXPROCS).
 	Workers int
@@ -210,6 +218,15 @@ type Options struct {
 	// internals (and the CPU profile costs real time), so the mount is
 	// opt-in and should not be enabled without a token off-localhost.
 	Pprof bool
+	// Mmap serves model files from read-only memory mappings when the file
+	// and platform allow it (v4 format, 64-bit unix): the factor matrices and
+	// core value block alias the mapping, so opening costs O(metadata) and the
+	// heap never holds a copy of the model payload. Files the mapper cannot
+	// serve (old versions, non-unix builds) silently fall back to the heap
+	// loader; corrupt files fail either way. Mapped sources stay mapped until
+	// the Server closes — the online paths clone before mutating, so a mapped
+	// snapshot is never written through.
+	Mmap bool
 }
 
 // DefaultMaxBatch is the coalescer's flush cap when Options.MaxBatch is 0.
@@ -232,7 +249,7 @@ var ErrServerClosed = errors.New("serve: server closed")
 // lockorder analyzer: a goroutine may only acquire locks left-to-right, and
 // must not take one while holding anything to its right.
 //
-//ptlint:lock-order Server.reloadMu > online.mu > online.stageMu > Server.durMu
+//ptlint:lock-order Registry.mu > tenant.mu > Server.reloadMu > online.mu > online.stageMu > Server.durMu > Server.srcMu
 type Server struct {
 	opts Options
 
@@ -285,6 +302,14 @@ type Server struct {
 	// compactBusy admits one size- or age-triggered compaction at a time;
 	// see maybeCompactBySize and compactByAge.
 	compactBusy atomic.Bool
+
+	// srcMu guards srcs, the model sources opened over the server's lifetime
+	// (Options.Mmap). Retired sources stay mapped until Close — in-flight
+	// requests may still hold snapshots over them, and read-only mappings are
+	// page-cache-cheap — so Close is the single unmap point. srcMu is a leaf
+	// lock (innermost in the hierarchy above).
+	srcMu sync.Mutex
+	srcs  []store.ModelSource
 
 	// repl is the replication state: stream identity and applied-sequence
 	// tracking on a primary, the tailing loop's handles on a follower. See
@@ -380,7 +405,7 @@ func New(opts Options) (*Server, error) {
 	switch {
 	case s.dir != nil && s.dir.HasModel():
 		var err error
-		m, err = core.LoadModel(s.dir.ModelPath())
+		m, err = s.openModel(s.dir.ModelPath())
 		if err != nil {
 			return nil, fmt.Errorf("serve: data dir model: %w", err)
 		}
@@ -390,7 +415,7 @@ func New(opts Options) (*Server, error) {
 			return nil, errors.New("serve: Options needs a ModelPath or a Model")
 		}
 		var err error
-		m, err = core.LoadModel(opts.ModelPath)
+		m, err = s.openModel(opts.ModelPath)
 		if err != nil {
 			return nil, err
 		}
@@ -425,6 +450,47 @@ func New(opts Options) (*Server, error) {
 		go s.ageCompactLoop()
 	}
 	return s, nil
+}
+
+// openModel loads a model file through the configured source strategy:
+// Options.Mmap maps it read-only (falling back to the heap loader for
+// streams the mapper cannot serve), otherwise it heap-decodes. Opened
+// sources are retained on the server and released together at Close.
+func (s *Server) openModel(path string) (*core.Model, error) {
+	if !s.opts.Mmap {
+		return core.LoadModel(path)
+	}
+	src, err := store.OpenModel(path, true)
+	if err != nil {
+		return nil, err
+	}
+	s.srcMu.Lock()
+	s.srcs = append(s.srcs, src)
+	s.srcMu.Unlock()
+	return src.Model(), nil
+}
+
+// MappedBytes reports how many bytes of model files this server currently
+// serves out of read-only memory mappings (0 without Options.Mmap or after
+// heap fallbacks). Mappings accumulate across reloads until Close.
+func (s *Server) MappedBytes() int64 {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	var n int64
+	for _, src := range s.srcs {
+		n += src.MappedBytes()
+	}
+	return n
+}
+
+// closeSources unmaps every model source opened over the server's lifetime.
+func (s *Server) closeSources() {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	for _, src := range s.srcs {
+		_ = src.Close()
+	}
+	s.srcs = nil
 }
 
 // Shards reports the number of coalescer dispatcher shards serving
@@ -463,7 +529,7 @@ func (s *Server) reload(path string) (*snapshot, error) {
 	if src == "" {
 		return nil, errors.New("serve: no model path to reload from")
 	}
-	m, err := core.LoadModel(src)
+	m, err := s.openModel(src)
 	if err != nil {
 		return nil, err
 	}
@@ -534,6 +600,9 @@ func (s *Server) Close() {
 		s.online.stageMu.Unlock()
 		s.online.mu.Unlock()
 	}
+	// Unmap last: the coalescer is stopped and the HTTP server is down (the
+	// documented Close contract), so no request still reads a mapping.
+	s.closeSources()
 }
 
 // Handler returns the route table as an http.Handler, suitable for
@@ -567,7 +636,7 @@ func (s *Server) Handler() http.Handler {
 	if s.coal != nil {
 		depths = s.coal.queueDepths
 	}
-	mux.Handle("/metrics", s.instrument("metrics", s.met.handler(s.snapshot, depths, s.replSample)))
+	mux.Handle("/metrics", s.instrument("metrics", s.met.handler(s.snapshot, depths, s.replSample, s.MappedBytes)))
 	if s.opts.Pprof {
 		// The profiling endpoints sit behind the same bearer token as the
 		// mutating endpoints: profiles leak internals and the CPU profile

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+// mmapSupported reports whether this build can map files read-only. On
+// non-unix platforms every open falls back to the heap decoder.
+const mmapSupported = false
+
+func mapFile(path string) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func unmapFile(data []byte) error { return nil }

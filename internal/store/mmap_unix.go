@@ -1,0 +1,42 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map files read-only.
+const mmapSupported = true
+
+// mapFile maps the named file read-only into the address space. The
+// returned slice stays valid until unmapFile; writing through it faults.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 {
+		return nil, fmt.Errorf("store: %s: cannot map %d bytes", path, size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("store: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -39,6 +39,12 @@ go test -run '^$' -bench '^BenchmarkServeCoalescedPredict$' -benchtime 100000x -
 go test -run '^$' -bench '^BenchmarkFoldIn$' -benchtime 5000x -count 3 ./internal/core | tee -a "$out"
 # Binary tensor snapshot load (~230µs/op → ~100ms windows).
 go test -run '^$' -bench '^BenchmarkBinaryRead$' -benchtime 500x -count 3 ./internal/store | tee -a "$out"
+# Model open, mmap vs heap, small vs 16x-larger file. The mmap rows=64k row
+# is the zero-copy acceptance pin: it must stay flat (~30µs metadata-only)
+# while the heap rows=64k row scales with the file — if mapped opens start
+# regressing toward heap-decode cost, aliasing broke somewhere.
+go test -run '^$' -bench '^BenchmarkMmapModelOpen$' -benchtime 2000x -count 3 ./internal/store | tee -a "$out"
+go test -run '^$' -bench '^BenchmarkHeapModelOpen$' -benchtime 100x -count 3 ./internal/store | tee -a "$out"
 # Histogram record path: every request/flush/fsync observation pays this, so
 # it is gated on ns/op like the rest AND must stay allocation-free — an
 # alloc here would show up as GC pressure on the serving hot path.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# check-hygiene.sh — blocking CI gate against repository pollution: a `go
+# test -c` artifact or a built command binary that slips into a commit bloats
+# every clone forever (git history never shrinks). Fails when the index
+# contains
+#
+#   - an executable file that is not a shell script under scripts/,
+#   - a binary blob outside a testdata/ directory (tiny pinned test fixtures
+#     like internal/core/testdata/model_v2.ptkm are the one legitimate kind
+#     of tracked binary), or
+#   - any file larger than 5 MB (even text; nothing in this repo should be
+#     that big).
+#
+# Run it locally before pushing: scripts/check-hygiene.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max_bytes=$((5 * 1024 * 1024))
+fail=0
+
+while IFS= read -r -d '' f; do
+    # The index can list files deleted from the worktree mid-rebase; judge
+    # only what exists.
+    [ -f "$f" ] || continue
+
+    size=$(wc -c < "$f")
+    if [ "$size" -gt "$max_bytes" ]; then
+        echo "hygiene: $f is $size bytes (limit $max_bytes); do not commit large files" >&2
+        fail=1
+    fi
+
+    if [ -x "$f" ]; then
+        case "$f" in
+        scripts/*.sh) ;;
+        *)
+            echo "hygiene: $f is tracked with the executable bit set; only scripts/*.sh may be executable" >&2
+            fail=1
+            ;;
+        esac
+    fi
+
+    # grep -I treats NUL-containing files as binary; empty files are text.
+    if [ "$size" -gt 0 ] && ! grep -qI '' "$f"; then
+        case "$f" in
+        */testdata/* | testdata/*) ;;
+        *)
+            echo "hygiene: $f is a binary blob outside testdata/; build artifacts must not be committed" >&2
+            fail=1
+            ;;
+        esac
+    fi
+done < <(git ls-files -z)
+
+if [ "$fail" -ne 0 ]; then
+    echo "hygiene: FAIL — untrack the files above (git rm --cached <file>) and extend .gitignore" >&2
+    exit 1
+fi
+echo "hygiene: OK — no tracked executables, stray binaries, or oversized files"
